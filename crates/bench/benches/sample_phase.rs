@@ -1,0 +1,47 @@
+//! Criterion benchmark for the end-to-end sample phase: how much wall time
+//! the SOS scheduler spends profiling one candidate schedule (one full
+//! rotation of Jsb(4,2,2) at 1/1000 paper scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smtsim::MachineConfig;
+use sos_core::job::JobPool;
+use sos_core::runner::Runner;
+use sos_core::sample::sample_schedules;
+use sos_core::schedule::Schedule;
+use workloads::{Benchmark, JobSpec};
+
+fn sample_one_rotation(c: &mut Criterion) {
+    c.bench_function("sample_phase_one_rotation_4_2_2", |b| {
+        let pool = JobPool::from_specs(
+            &[
+                JobSpec::single(Benchmark::Fp),
+                JobSpec::single(Benchmark::Mg),
+                JobSpec::single(Benchmark::Gcc),
+                JobSpec::single(Benchmark::Is),
+            ],
+            1,
+        );
+        let mut runner = Runner::new(MachineConfig::alpha21264_like(2), pool, 5_000);
+        let candidates = vec![Schedule::new(vec![0, 1, 2, 3], 2, 2)];
+        b.iter(|| sample_schedules(&mut runner, &candidates, 1));
+    });
+}
+
+fn solo_calibration(c: &mut Criterion) {
+    c.bench_function("calibrate_solo_4_jobs", |b| {
+        let pool = JobPool::from_specs(
+            &[
+                JobSpec::single(Benchmark::Fp),
+                JobSpec::single(Benchmark::Mg),
+                JobSpec::single(Benchmark::Gcc),
+                JobSpec::single(Benchmark::Is),
+            ],
+            1,
+        );
+        let mut runner = Runner::new(MachineConfig::alpha21264_like(2), pool, 5_000);
+        b.iter(|| runner.calibrate_solo(5_000, 5_000));
+    });
+}
+
+criterion_group!(benches, sample_one_rotation, solo_calibration);
+criterion_main!(benches);

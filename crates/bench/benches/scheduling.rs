@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the scheduling machinery: enumeration, canonical
+//! identity, distinct sampling, and predictor evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sos_core::enumerate::{count_distinct, enumerate_all, sample_distinct};
+use sos_core::predictor::PredictorKind;
+use sos_core::sample::ScheduleSample;
+use sos_core::schedule::Schedule;
+
+fn enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_all");
+    for (x, y, z) in [(6usize, 3usize, 3usize), (8, 4, 4), (6, 3, 1)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("({x},{y},{z})")),
+            &(x, y, z),
+            |b, &(x, y, z)| b.iter(|| enumerate_all(x, y, z)),
+        );
+    }
+    group.finish();
+
+    c.bench_function("count_distinct_12_4_4", |b| {
+        b.iter(|| count_distinct(std::hint::black_box(12), 4, 4))
+    });
+}
+
+fn sampling(c: &mut Criterion) {
+    c.bench_function("sample_distinct_10_of_2520", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        b.iter(|| sample_distinct(8, 4, 1, 10, &mut rng))
+    });
+}
+
+fn canonical(c: &mut Criterion) {
+    c.bench_function("canonical_key_12_6_6", |b| {
+        let s = Schedule::new((0..12).collect(), 6, 6);
+        b.iter(|| s.canonical_key())
+    });
+}
+
+fn synthetic_samples(n: usize) -> Vec<ScheduleSample> {
+    (0..n)
+        .map(|i| {
+            let f = i as f64;
+            ScheduleSample {
+                notation: format!("s{i}"),
+                ipc: 2.0 + (f * 0.77).sin(),
+                allconf: 100.0 + 20.0 * (f * 0.3).cos(),
+                dcache: 95.0 + (f * 0.11).sin(),
+                fq: 10.0 + 8.0 * (f * 0.5).sin().abs(),
+                fp: 12.0 + 6.0 * (f * 0.7).cos().abs(),
+                sum2: 22.0,
+                diversity: 10.0 + f,
+                balance: 0.1 + 0.05 * f,
+            }
+        })
+        .collect()
+}
+
+fn predictors(c: &mut Criterion) {
+    let samples = synthetic_samples(10);
+    c.bench_function("score_predictor_10_samples", |b| {
+        b.iter(|| PredictorKind::Score.choose(std::hint::black_box(&samples)))
+    });
+    c.bench_function("all_predictors_10_samples", |b| {
+        b.iter(|| {
+            PredictorKind::ALL
+                .iter()
+                .map(|p| p.choose(std::hint::black_box(&samples)))
+                .sum::<usize>()
+        })
+    });
+}
+
+criterion_group!(benches, enumeration, sampling, canonical, predictors);
+criterion_main!(benches);

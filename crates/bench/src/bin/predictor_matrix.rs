@@ -1,0 +1,36 @@
+//! The predictor league table: runs all 13 paper experiments and reports,
+//! for every predictor (plus the sampled-WS oracle and the best possible
+//! schedule), the mean and worst-case percent gain over the random-scheduler
+//! expectation.
+//!
+//! This regenerates the per-predictor summary in EXPERIMENTS.md. Pass a
+//! second argument to also dump the full reports as JSON.
+//!
+//! Usage: `cargo run --release -p sos-bench --bin predictor_matrix [cycle_scale] [json_path]`
+
+use sos_core::report::{format_league_table, league_table};
+use sos_core::sos::SosScheduler;
+use sos_core::ExperimentSpec;
+
+fn main() {
+    let scale = sos_bench::scale_from_args();
+    let json_path = std::env::args().nth(2);
+    let cfg = sos_bench::config(scale);
+    eprintln!("# running 13 experiments at 1/{scale} paper scale ...");
+
+    let specs = ExperimentSpec::all_paper_experiments();
+    let reports =
+        sos_bench::parallel_map(specs, |spec| SosScheduler::evaluate_experiment(&spec, &cfg));
+
+    println!(
+        "Predictor league table over {} experiments (% vs random expectation)",
+        reports.len()
+    );
+    print!("{}", format_league_table(&league_table(&reports)));
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&path, json).expect("write JSON");
+        eprintln!("# full reports written to {path}");
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared helpers for the experiment-reproduction binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). They all accept an optional first
+//! argument: the cycle scale divisor (default 1000; 1 = full paper scale).
+
+use sos_core::sos::ExperimentReport;
+use sos_core::{PredictorKind, SosConfig};
+
+/// Parses the common `[cycle_scale]` argument.
+pub fn scale_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// The default harness configuration at the given scale.
+pub fn config(scale: u64) -> SosConfig {
+    SosConfig {
+        cycle_scale: scale,
+        ..SosConfig::default()
+    }
+}
+
+/// Percent by which `a` exceeds `b`.
+pub fn pct_over(a: f64, b: f64) -> f64 {
+    100.0 * (a / b - 1.0)
+}
+
+/// Formats one experiment's best/worst/average WS as the rows of Figure 1.
+pub fn print_experiment_summary(report: &ExperimentReport) {
+    println!(
+        "{:<14} best {:>6.3}  worst {:>6.3}  avg {:>6.3}  (best/worst {:+.1}%, best/avg {:+.1}%)",
+        report.spec.label(),
+        report.best_ws(),
+        report.worst_ws(),
+        report.average_ws(),
+        pct_over(report.best_ws(), report.worst_ws()),
+        pct_over(report.best_ws(), report.average_ws()),
+    );
+}
+
+/// Prints the per-predictor weighted speedups for one experiment
+/// (one group of Figure 2/3 bars), plus the sampling-oracle baseline.
+pub fn print_predictor_bars(report: &ExperimentReport) {
+    for p in PredictorKind::ALL {
+        let ws = report.ws_with(p);
+        println!(
+            "    {:<10} WS {:>6.3}  ({:+5.1}% vs avg)",
+            p.name(),
+            ws,
+            pct_over(ws, report.average_ws())
+        );
+    }
+    println!(
+        "    {:<10} WS {:>6.3}  ({:+5.1}% vs avg)",
+        "SampledWS",
+        report.oracle_ws(),
+        pct_over(report.oracle_ws(), report.average_ws())
+    );
+}
+
+/// Runs `f` over `items` with one OS thread per item (experiments are
+/// independent and single-threaded, so this scales to the 13 paper
+/// configurations on a multicore host). Results keep input order.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = items.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for item in items {
+            handles.push(scope.spawn(|| f(item)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("experiment thread panicked"));
+        }
+    });
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_over_math() {
+        assert!((pct_over(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!((pct_over(0.9, 1.0) + 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_config_uses_requested_scale() {
+        let cfg = config(500);
+        assert_eq!(cfg.cycle_scale, 500);
+        assert_eq!(cfg.predictor, PredictorKind::Score);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![3u64, 1, 4, 1, 5], |x| x * 2);
+        assert_eq!(out, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,91 @@
+//! Exponential distributions for the open-system model (§9).
+//!
+//! The paper models "a system where jobs enter and leave the system with
+//! exponentially distributed arrival rate λ and exponentially distributed
+//! average time to complete a job T."
+
+use rand::Rng;
+
+/// An exponential distribution parameterized by its mean.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Builds a distribution with the given mean.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not finite and positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive and finite"
+        );
+        Exponential { mean }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws a sample by inverse-CDF.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -self.mean * u.ln()
+    }
+
+    /// Draws a sample rounded to whole cycles, at least 1.
+    pub fn sample_cycles<R: Rng>(&self, rng: &mut R) -> u64 {
+        (self.sample(rng).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_mean_converges() {
+        let d = Exponential::with_mean(1000.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 30.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn memoryless_variance() {
+        // Exponential variance = mean^2.
+        let d = Exponential::with_mean(500.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let n = 40_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+        assert!(
+            (var / (500.0 * 500.0) - 1.0).abs() < 0.1,
+            "variance ratio {}",
+            var / 250_000.0
+        );
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let d = Exponential::with_mean(3.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+            assert!(d.sample_cycles(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_mean_rejected() {
+        let _ = Exponential::with_mean(0.0);
+    }
+}

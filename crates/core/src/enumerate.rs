@@ -1,0 +1,224 @@
+//! Counting, enumerating, and sampling distinct schedules.
+//!
+//! Reproduces the "Distinct Schedules" column of the paper's Table 2:
+//!
+//! * **Swap-all with `y | x`** (`Jsb(6,3,3)`, `Jsb(8,4,4)`, ...): a schedule
+//!   is a partition of the `x` threads into blocks of `y`; there are
+//!   `x! / ((y!)^(x/y) · (x/y)!)` of them.
+//! * **Everything else** (swap-one schedules, and swap-all when `y ∤ x` like
+//!   `Jsb(5,2,2)`): a schedule is a circular order of the threads read as
+//!   sliding windows, identical under rotation and reflection; there are
+//!   `(x-1)!/2` of them.
+
+use crate::schedule::Schedule;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Number of distinct schedules for `x` threads at multithreading level `y`
+/// swapping `z` per timeslice (the paper's Table 2, column 2).
+///
+/// ```
+/// use sos_core::enumerate::count_distinct;
+/// assert_eq!(count_distinct(6, 3, 3), 10);   // Jsb(6,3,3)
+/// assert_eq!(count_distinct(8, 4, 1), 2520); // Jsb(8,4,1)
+/// ```
+///
+/// # Panics
+/// Panics unless `1 <= z <= y <= x`, or if the swap discipline is neither
+/// swap-all (`z == y`) nor swap-one (`z == 1`).
+pub fn count_distinct(x: usize, y: usize, z: usize) -> u128 {
+    assert!(z >= 1 && z <= y && y <= x, "need 1 <= z <= y <= x");
+    if y == x {
+        return 1;
+    }
+    assert!(
+        z == y || z == 1,
+        "schedule counting is defined for the paper's swap-all (z == y) and \
+         swap-one (z == 1) disciplines, got z = {z}, y = {y}"
+    );
+    if z == y && x.is_multiple_of(y) {
+        // Partitions of x into x/y unordered blocks of size y.
+        let blocks = x / y;
+        let mut n = factorial(x);
+        for _ in 0..blocks {
+            n /= factorial(y);
+        }
+        n / factorial(blocks)
+    } else {
+        // Circular orders up to rotation and reflection.
+        if x <= 2 {
+            1
+        } else {
+            factorial(x - 1) / 2
+        }
+    }
+}
+
+fn factorial(n: usize) -> u128 {
+    (1..=n as u128).product()
+}
+
+/// Draws a uniformly random schedule (not deduplicated) for the given shape.
+pub fn random_schedule<R: Rng>(x: usize, y: usize, z: usize, rng: &mut R) -> Schedule {
+    let mut order: Vec<usize> = (0..x).collect();
+    order.shuffle(rng);
+    Schedule::new(order, y, z)
+}
+
+/// Draws up to `n` *distinct* random schedules (distinct under the paper's
+/// tuple-set identity). If the space is smaller than `n`, every distinct
+/// schedule is returned (exhaustive sampling, as the paper does for
+/// `Jsb(4,2,2)` and `Jsb(6,3,3)`).
+pub fn sample_distinct<R: Rng>(
+    x: usize,
+    y: usize,
+    z: usize,
+    n: usize,
+    rng: &mut R,
+) -> Vec<Schedule> {
+    let space = count_distinct(x, y, z);
+    if space <= n as u128 {
+        return enumerate_all(x, y, z);
+    }
+    let mut seen = HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    // The space is much larger than n here, so rejection terminates quickly.
+    while out.len() < n {
+        let s = random_schedule(x, y, z, rng);
+        if seen.insert(s.canonical_key()) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Enumerates every distinct schedule. Intended for small spaces (the paper
+/// only enumerates exhaustively when there are at most 10 schedules); guards
+/// against misuse with a panic.
+///
+/// # Panics
+/// Panics if the space has more than 100 000 schedules.
+pub fn enumerate_all(x: usize, y: usize, z: usize) -> Vec<Schedule> {
+    let space = count_distinct(x, y, z);
+    assert!(
+        space <= 100_000,
+        "schedule space too large to enumerate ({space})"
+    );
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    let mut order: Vec<usize> = (0..x).collect();
+    permute(&mut order, 0, &mut |perm| {
+        let s = Schedule::new(perm.to_vec(), y, z);
+        if seen.insert(s.canonical_key()) {
+            out.push(s);
+        }
+    });
+    out
+}
+
+fn permute(v: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// The paper's Table 2, column 2 — every row.
+    #[test]
+    fn table2_distinct_schedule_counts() {
+        assert_eq!(count_distinct(4, 2, 2), 3); // Jsb(4,2,2)
+        assert_eq!(count_distinct(5, 2, 2), 12); // Jsb(5,2,2)
+        assert_eq!(count_distinct(5, 2, 1), 12); // Jsb(5,2,1)
+        assert_eq!(count_distinct(10, 2, 2), 945); // Jpb(10,2,2) & J2pb
+        assert_eq!(count_distinct(6, 3, 3), 10); // Jsb(6,3,3)
+        assert_eq!(count_distinct(6, 3, 1), 60); // Jsb(6,3,1) & Jsl(6,3,1)
+        assert_eq!(count_distinct(8, 4, 4), 35); // Jsb(8,4,4)
+        assert_eq!(count_distinct(8, 4, 1), 2520); // Jsb(8,4,1) & Jsl(8,4,1)
+        assert_eq!(count_distinct(12, 4, 4), 5775); // Jsb(12,4,4)
+        assert_eq!(count_distinct(12, 6, 6), 462); // Jsb(12,6,6)
+    }
+
+    #[test]
+    fn enumeration_matches_count_for_small_spaces() {
+        for (x, y, z) in [
+            (4, 2, 2),
+            (6, 3, 3),
+            (5, 2, 2),
+            (5, 2, 1),
+            (6, 3, 1),
+            (8, 4, 4),
+        ] {
+            let all = enumerate_all(x, y, z);
+            assert_eq!(all.len() as u128, count_distinct(x, y, z), "({x},{y},{z})");
+            // All fair coverings, all distinct.
+            let keys: HashSet<_> = all.iter().map(Schedule::canonical_key).collect();
+            assert_eq!(keys.len(), all.len());
+            assert!(all.iter().all(Schedule::is_fair_covering));
+        }
+    }
+
+    #[test]
+    fn jsb_6_3_3_has_the_papers_ten() {
+        let all = enumerate_all(6, 3, 3);
+        let notations: HashSet<String> = all
+            .iter()
+            .map(|s| {
+                s.canonical_key()
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("_")
+            })
+            .collect();
+        // The paper's Table 3 lists these ten (canonicalized to sorted tuples):
+        for expected in [
+            "012_345", "013_245", "014_235", "015_234", "023_145", "024_135", "025_134", "034_125",
+            "035_124", "045_123",
+        ] {
+            assert!(
+                notations.contains(expected),
+                "missing {expected}: {notations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_returns_distinct_schedules() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sample = sample_distinct(8, 4, 1, 10, &mut rng);
+        assert_eq!(sample.len(), 10);
+        let keys: HashSet<_> = sample.iter().map(Schedule::canonical_key).collect();
+        assert_eq!(keys.len(), 10);
+    }
+
+    #[test]
+    fn sampling_small_space_is_exhaustive() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sample = sample_distinct(4, 2, 2, 10, &mut rng);
+        assert_eq!(sample.len(), 3, "Jsb(4,2,2) has only 3 possible schedules");
+    }
+
+    #[test]
+    fn single_tuple_case() {
+        assert_eq!(count_distinct(3, 3, 3), 1);
+        assert_eq!(enumerate_all(3, 3, 1).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= z <= y <= x")]
+    fn bad_shape_rejected() {
+        let _ = count_distinct(4, 5, 1);
+    }
+}

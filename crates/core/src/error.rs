@@ -1,0 +1,38 @@
+//! Error types.
+
+/// Error returned when parsing an experiment label like `"Jsb(6,3,3)"` fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseExperimentError {
+    msg: String,
+}
+
+impl ParseExperimentError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ParseExperimentError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ParseExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid experiment label: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ParseExperimentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ParseExperimentError::new("expected Jmn(X,Y,Z)");
+        assert!(e.to_string().contains("expected Jmn(X,Y,Z)"));
+    }
+
+    #[test]
+    fn is_error_and_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ParseExperimentError>();
+    }
+}

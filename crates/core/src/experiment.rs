@@ -1,0 +1,367 @@
+//! The paper's `Jmn(X,Y,Z)` experiment notation (§3).
+//!
+//! "`X` is the number of runnable jobs, `Y` the multithreading level, and `Z`
+//! the number of running jobs swapped out and replaced with jobs from the
+//! runnable pool at the expiration of the timeslice. `m` is a character from
+//! `{s,p}` [single-threaded or parallel workload] ... `n` is a character from
+//! `{b,l}` where `b`(ig) indicates that a timeslice of 5 million cycles was
+//! used for coschedules and `l`(ittle) indicates that a smaller timeslice was
+//! used." `J2pb(10,2,2)` is the variant jobmix whose parallel job
+//! synchronizes rarely (§6).
+
+use crate::enumerate;
+use crate::error::ParseExperimentError;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+use workloads::jobmix;
+use workloads::JobSpec;
+
+/// The paper's big timeslice: 5 million cycles ("a 10 millisecond timer
+/// interrupt on a 500 MHz system").
+pub const PAPER_TIMESLICE: u64 = 5_000_000;
+
+/// Cycles of the paper's symbios phase: 2 billion.
+pub const PAPER_SYMBIOS: u64 = 2_000_000_000;
+
+/// Sample-phase budget that little-timeslice experiments fit 10 schedules
+/// into (Table 2 reports 100M cycles for `Jsl(6,3,1)` and `Jsl(8,4,1)`).
+pub const LITTLE_SAMPLE_BUDGET: u64 = 100_000_000;
+
+/// Schedules profiled in the sample phase ("in all but one of our
+/// experiments, the jobscheduler generates and evaluates 10 random
+/// schedules").
+pub const SAMPLE_SCHEDULES: usize = 10;
+
+/// One experiment configuration `Jmn(X,Y,Z)`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Runnable jobs `X`.
+    pub jobs: usize,
+    /// Multithreading level `Y` (hardware contexts).
+    pub smt: usize,
+    /// Jobs swapped per timeslice `Z`.
+    pub swap: usize,
+    /// Whether the workload includes parallel (multithreaded) jobs (`p`).
+    pub parallel: bool,
+    /// Whether the loosely-synchronizing parallel variant is used (`J2pb`).
+    pub loose_sync: bool,
+    /// Whether the little timeslice is used (`l`).
+    pub little: bool,
+}
+
+impl ExperimentSpec {
+    /// Builds a spec directly.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= swap <= smt <= jobs`.
+    pub fn new(jobs: usize, smt: usize, swap: usize) -> Self {
+        assert!(
+            swap >= 1 && swap <= smt && smt <= jobs,
+            "need 1 <= Z <= Y <= X, got ({jobs},{smt},{swap})"
+        );
+        ExperimentSpec {
+            jobs,
+            smt,
+            swap,
+            parallel: false,
+            loose_sync: false,
+            little: true,
+        }
+        .with_big_timeslice()
+    }
+
+    fn with_big_timeslice(mut self) -> Self {
+        self.little = false;
+        self
+    }
+
+    /// Marks the experiment as using the little timeslice (`Jsl`).
+    pub fn little(mut self) -> Self {
+        self.little = true;
+        self
+    }
+
+    /// Marks the workload as parallel (`Jpb`); `loose` selects the `J2pb`
+    /// rarely-synchronizing ARRAY variant.
+    pub fn parallel(mut self, loose: bool) -> Self {
+        self.parallel = true;
+        self.loose_sync = loose;
+        self
+    }
+
+    /// All 13 throughput-experiment configurations of Table 2, in table
+    /// order.
+    pub fn all_paper_experiments() -> Vec<ExperimentSpec> {
+        vec![
+            ExperimentSpec::new(4, 2, 2),
+            ExperimentSpec::new(5, 2, 2),
+            ExperimentSpec::new(5, 2, 1),
+            ExperimentSpec::new(10, 2, 2).parallel(false),
+            ExperimentSpec::new(10, 2, 2).parallel(true),
+            ExperimentSpec::new(6, 3, 3),
+            ExperimentSpec::new(6, 3, 1),
+            ExperimentSpec::new(6, 3, 1).little(),
+            ExperimentSpec::new(8, 4, 4),
+            ExperimentSpec::new(8, 4, 1),
+            ExperimentSpec::new(8, 4, 1).little(),
+            ExperimentSpec::new(12, 4, 4),
+            ExperimentSpec::new(12, 6, 6),
+        ]
+    }
+
+    /// Number of distinct schedules (Table 2, column 2).
+    pub fn distinct_schedules(&self) -> u128 {
+        enumerate::count_distinct(self.jobs, self.smt, self.swap)
+    }
+
+    /// Timeslices needed to run one full rotation of a schedule.
+    pub fn slices_per_schedule(&self) -> usize {
+        Schedule::new((0..self.jobs).collect(), self.smt, self.swap).slices_per_rotation()
+    }
+
+    /// The timeslice length in paper cycles: 5M for big-timeslice
+    /// experiments; for little-timeslice experiments, sized so that profiling
+    /// 10 schedules fits the 100M-cycle budget of Table 2.
+    pub fn paper_timeslice(&self) -> u64 {
+        if self.little {
+            LITTLE_SAMPLE_BUDGET / (SAMPLE_SCHEDULES as u64 * self.slices_per_schedule() as u64)
+        } else {
+            PAPER_TIMESLICE
+        }
+    }
+
+    /// Cycles spent profiling up to 10 schedules (Table 2, column 3).
+    pub fn paper_sample_cycles(&self) -> u64 {
+        let n = self.distinct_schedules().min(SAMPLE_SCHEDULES as u128) as u64;
+        n * self.slices_per_schedule() as u64 * self.paper_timeslice()
+    }
+
+    /// The timeslice scaled down by `scale` (1 = paper scale).
+    pub fn timeslice(&self, scale: u64) -> u64 {
+        (self.paper_timeslice() / scale.max(1)).max(100)
+    }
+
+    /// The symbios-phase length scaled down by `scale`.
+    pub fn symbios_cycles(&self, scale: u64) -> u64 {
+        (PAPER_SYMBIOS / scale.max(1)).max(1000)
+    }
+
+    /// The Table 1 jobmix for this experiment.
+    ///
+    /// # Panics
+    /// Panics if the paper defines no jobmix for this shape (only the sizes
+    /// in Table 1 are available).
+    pub fn jobmix(&self) -> Vec<JobSpec> {
+        if self.parallel {
+            assert_eq!(
+                self.jobs, 10,
+                "the parallel jobmix has 10 schedulable threads"
+            );
+            jobmix::parallel_mix(!self.loose_sync)
+        } else {
+            jobmix::single_threaded_mix(self.jobs)
+                .unwrap_or_else(|| panic!("no Table 1 jobmix with {} jobs", self.jobs))
+        }
+    }
+
+    /// The experiment label in the paper's notation.
+    pub fn label(&self) -> String {
+        let m = if self.parallel { "p" } else { "s" };
+        let n = if self.little { "l" } else { "b" };
+        let two = if self.loose_sync { "2" } else { "" };
+        format!("J{two}{m}{n}({},{},{})", self.jobs, self.smt, self.swap)
+    }
+}
+
+impl std::fmt::Display for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for ExperimentSpec {
+    type Err = ParseExperimentError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let open = t
+            .find('(')
+            .ok_or_else(|| ParseExperimentError::new("missing '('"))?;
+        if !t.ends_with(')') {
+            return Err(ParseExperimentError::new("missing ')'"));
+        }
+        let (head, rest) = t.split_at(open);
+        let args = &rest[1..rest.len() - 1];
+        let mut head = head.to_ascii_lowercase();
+        if !head.starts_with('j') {
+            return Err(ParseExperimentError::new("must start with 'J'"));
+        }
+        head.remove(0);
+        let loose_sync = head.starts_with('2');
+        if loose_sync {
+            head.remove(0);
+        }
+        let mut chars = head.chars();
+        let m = chars
+            .next()
+            .ok_or_else(|| ParseExperimentError::new("missing workload kind"))?;
+        let n = chars
+            .next()
+            .ok_or_else(|| ParseExperimentError::new("missing timeslice kind"))?;
+        if chars.next().is_some() {
+            return Err(ParseExperimentError::new("unexpected trailing letters"));
+        }
+        let parallel = match m {
+            's' => false,
+            'p' => true,
+            other => {
+                return Err(ParseExperimentError::new(format!(
+                    "bad workload kind '{other}'"
+                )))
+            }
+        };
+        let little = match n {
+            'b' => false,
+            'l' => true,
+            other => {
+                return Err(ParseExperimentError::new(format!(
+                    "bad timeslice kind '{other}'"
+                )))
+            }
+        };
+        if loose_sync && !parallel {
+            return Err(ParseExperimentError::new(
+                "J2 prefix requires a parallel workload",
+            ));
+        }
+        let nums: Vec<usize> = args
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| ParseExperimentError::new(format!("bad number: {e}")))?;
+        let [jobs, smt, swap] = nums[..] else {
+            return Err(ParseExperimentError::new(
+                "expected exactly three numbers X,Y,Z",
+            ));
+        };
+        if !(swap >= 1 && swap <= smt && smt <= jobs) {
+            return Err(ParseExperimentError::new("need 1 <= Z <= Y <= X"));
+        }
+        Ok(ExperimentSpec {
+            jobs,
+            smt,
+            swap,
+            parallel,
+            loose_sync,
+            little,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for label in [
+            "Jsb(6,3,3)",
+            "Jsl(8,4,1)",
+            "Jpb(10,2,2)",
+            "J2pb(10,2,2)",
+            "Jsb(12,6,6)",
+        ] {
+            let spec: ExperimentSpec = label.parse().unwrap();
+            assert_eq!(spec.label(), label);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "",
+            "Jsb",
+            "Jsb(6,3)",
+            "Jxb(6,3,3)",
+            "Jsq(6,3,3)",
+            "Jsb(3,6,3)",
+            "J2sb(6,3,3)",
+            "Jsb(6,3,0)",
+        ] {
+            assert!(
+                bad.parse::<ExperimentSpec>().is_err(),
+                "{bad} should not parse"
+            );
+        }
+    }
+
+    /// The paper's Table 2, column 3: million cycles to profile 10 schedules.
+    #[test]
+    fn table2_sample_cycles() {
+        let m = 1_000_000;
+        let cases = [
+            ("Jsb(4,2,2)", 30),
+            ("Jsb(5,2,2)", 250),
+            ("Jsb(5,2,1)", 250),
+            ("Jpb(10,2,2)", 250),
+            ("J2pb(10,2,2)", 250),
+            ("Jsb(6,3,3)", 100),
+            ("Jsb(6,3,1)", 300),
+            ("Jsl(6,3,1)", 100),
+            ("Jsb(8,4,4)", 100),
+            ("Jsb(8,4,1)", 400),
+            ("Jsl(8,4,1)", 100),
+            ("Jsb(12,4,4)", 150),
+            ("Jsb(12,6,6)", 100),
+        ];
+        for (label, millions) in cases {
+            let spec: ExperimentSpec = label.parse().unwrap();
+            // Little timeslices divide a fixed budget and round down, so
+            // allow sub-permille rounding slack (99,999,960 vs 100,000,000).
+            let got = spec.paper_sample_cycles();
+            let want = millions * m;
+            assert!(
+                got.abs_diff(want) * 1000 < want,
+                "{label}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn thirteen_paper_experiments() {
+        let all = ExperimentSpec::all_paper_experiments();
+        assert_eq!(all.len(), 13);
+        let labels: Vec<String> = all.iter().map(ExperimentSpec::label).collect();
+        assert!(labels.contains(&"J2pb(10,2,2)".to_string()));
+        // All have valid jobmixes with X schedulable threads.
+        for spec in &all {
+            let threads: usize = spec.jobmix().iter().map(|j| j.threads).sum();
+            assert_eq!(threads, spec.jobs, "{spec}");
+        }
+    }
+
+    #[test]
+    fn scaling_divides_cycles() {
+        let spec: ExperimentSpec = "Jsb(6,3,3)".parse().unwrap();
+        assert_eq!(spec.timeslice(1), 5_000_000);
+        assert_eq!(spec.timeslice(1000), 5_000);
+        assert_eq!(spec.symbios_cycles(1000), 2_000_000);
+    }
+
+    #[test]
+    fn little_timeslices_shrink() {
+        let little: ExperimentSpec = "Jsl(6,3,1)".parse().unwrap();
+        let big: ExperimentSpec = "Jsb(6,3,1)".parse().unwrap();
+        assert!(little.paper_timeslice() < big.paper_timeslice());
+        assert_eq!(little.paper_timeslice(), 100_000_000 / 60);
+    }
+
+    #[test]
+    fn slices_per_schedule_shapes() {
+        assert_eq!(ExperimentSpec::new(6, 3, 3).slices_per_schedule(), 2);
+        assert_eq!(ExperimentSpec::new(6, 3, 1).slices_per_schedule(), 6);
+        assert_eq!(ExperimentSpec::new(5, 2, 2).slices_per_schedule(), 5);
+        assert_eq!(ExperimentSpec::new(12, 4, 4).slices_per_schedule(), 3);
+    }
+}

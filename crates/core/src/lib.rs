@@ -1,0 +1,66 @@
+//! # sos-core — the SOS symbiotic jobscheduler
+//!
+//! This crate implements the contribution of *Symbiotic Jobscheduling for a
+//! Simultaneous Multithreading Processor* (Snavely & Tullsen, ASPLOS 2000):
+//! the **SOS** scheduler (Sample, Optimize, Symbios) and everything it needs —
+//! schedule representation and enumeration, the weighted-speedup metric, the
+//! ten dynamic predictors, hierarchical symbiosis for multithreaded jobs, and
+//! the open-system model with random job arrivals used for the response-time
+//! study.
+//!
+//! The layering is:
+//!
+//! * [`job`] — a pool of schedulable threads built from
+//!   [`workloads::JobSpec`]s.
+//! * [`schedule`] / [`enumerate`] — coschedules, covering schedules, and
+//!   counting/enumeration of the distinct schedules of an experiment
+//!   (reproduces the paper's Table 2 exactly).
+//! * [`experiment`] — the paper's `Jmn(X,Y,Z)` experiment notation.
+//! * [`ws`] — the weighted-speedup metric `WS(t)`.
+//! * [`runner`] — drives a [`smtsim::Processor`] through a schedule.
+//! * [`sample`] / [`predictor`] — the sample phase and the dynamic
+//!   predictors of §5 (IPC, AllConf, Dcache, FQ, FP, Sum2, Diversity,
+//!   Balance, Composite, Score).
+//! * [`sos`] — the two-phase SOS scheduler itself.
+//! * [`report`] — aggregate reporting (the predictor league table).
+//! * [`hier`] — hierarchical symbiosis (§7): allocating hardware contexts to
+//!   multithreaded jobs.
+//! * [`opensys`] — the open system of §9: exponential arrivals/departures,
+//!   resampling with exponential backoff, response-time accounting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sos_core::experiment::ExperimentSpec;
+//!
+//! let spec: ExperimentSpec = "Jsb(6,3,3)".parse()?;
+//! assert_eq!(spec.distinct_schedules(), 10); // paper Table 2
+//! # Ok::<(), sos_core::error::ParseExperimentError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dist;
+pub mod enumerate;
+pub mod error;
+pub mod experiment;
+pub mod hier;
+pub mod job;
+pub mod naive;
+pub mod opensys;
+pub mod predictor;
+pub mod report;
+pub mod runner;
+pub mod sample;
+pub mod schedule;
+pub mod sos;
+pub mod ws;
+
+pub use error::ParseExperimentError;
+pub use experiment::ExperimentSpec;
+pub use job::JobPool;
+pub use predictor::PredictorKind;
+pub use sample::ScheduleSample;
+pub use schedule::{Coschedule, Schedule};
+pub use sos::{SosConfig, SosScheduler};

@@ -1,0 +1,68 @@
+//! The naive (random) baseline scheduler.
+//!
+//! The paper's control group "is a random, or naive, scheduler in the sense
+//! that it simply coschedules jobs together in tuples equal to the SMT level
+//! in the order in which they arrive." For closed jobmix experiments the
+//! naive baseline's expected throughput is the mean over random schedules.
+
+use crate::schedule::Schedule;
+
+/// The schedule a naive scheduler produces: threads in arrival order, taken
+/// `y` at a time, swapping `z` per timeslice.
+///
+/// # Panics
+/// Panics under the same conditions as [`Schedule::new`].
+pub fn fifo_schedule(arrival_order: &[usize], y: usize, z: usize) -> Schedule {
+    Schedule::new(arrival_order.to_vec(), y.min(arrival_order.len()).max(1), z)
+}
+
+/// Expected weighted speedup of an oblivious scheduler: the mean over the
+/// evaluated schedules.
+///
+/// # Panics
+/// Panics if `ws` is empty.
+pub fn expected_random_ws(ws: &[f64]) -> f64 {
+    assert!(!ws.is_empty(), "need at least one schedule");
+    ws.iter().sum::<f64>() / ws.len() as f64
+}
+
+/// Percentage improvement of `a` over `b`.
+pub fn pct_improvement(a: f64, b: f64) -> f64 {
+    100.0 * (a - b) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_keeps_arrival_order() {
+        let s = fifo_schedule(&[4, 2, 7, 1], 2, 2);
+        assert_eq!(s.tuple_at(0).threads(), &[2, 4]);
+        assert_eq!(s.tuple_at(1).threads(), &[1, 7]);
+    }
+
+    #[test]
+    fn fifo_caps_tuple_size_at_pool() {
+        let s = fifo_schedule(&[3, 1], 4, 1);
+        assert_eq!(s.tuples().len(), 1);
+        assert_eq!(s.tuple_at(0).threads(), &[1, 3]);
+    }
+
+    #[test]
+    fn expectation_is_mean() {
+        assert!((expected_random_ws(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_math() {
+        assert!((pct_improvement(1.1, 1.0) - 10.0).abs() < 1e-9);
+        assert!(pct_improvement(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one schedule")]
+    fn empty_ws_rejected() {
+        let _ = expected_random_ws(&[]);
+    }
+}

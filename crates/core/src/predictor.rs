@@ -1,0 +1,323 @@
+//! The dynamic predictors of §5: guessing the best schedule from
+//! sample-phase hardware counters.
+//!
+//! Each predictor turns the sampled [`ScheduleSample`]s into scores (higher
+//! = predicted more symbiotic) and chooses a schedule. `Score` tallies votes
+//! from all the other predictors, breaking ties by the relative magnitude of
+//! predicted goodness, and is the paper's best overall performer.
+
+use crate::sample::ScheduleSample;
+use serde::{Deserialize, Serialize};
+
+/// Guard against division by zero when normalizing conflict percentages.
+const EPS: f64 = 1e-9;
+
+/// The paper's ten dynamic predictors.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// High sampled IPC is good.
+    Ipc,
+    /// A low sum of conflict percentages over all shared resources is good.
+    AllConf,
+    /// A high L1 data-cache hit rate is good.
+    Dcache,
+    /// Low floating-point-queue conflicts are good.
+    Fq,
+    /// Low floating-point-unit conflicts are good.
+    Fp,
+    /// A low sum of FP-queue and FP-unit conflicts is good.
+    Sum2,
+    /// A diverse instruction mix (small |%FP − %int|) is good.
+    Diversity,
+    /// Low IPC variation between consecutive timeslices is good.
+    Balance,
+    /// The experimental fit combining smoothness and low conflicts (§5.2).
+    Composite,
+    /// Majority vote of all the other predictors.
+    Score,
+}
+
+impl PredictorKind {
+    /// All ten predictors, in the paper's Table 3 / Figure 2 order.
+    pub const ALL: [PredictorKind; 10] = [
+        PredictorKind::Ipc,
+        PredictorKind::AllConf,
+        PredictorKind::Dcache,
+        PredictorKind::Fq,
+        PredictorKind::Fp,
+        PredictorKind::Sum2,
+        PredictorKind::Diversity,
+        PredictorKind::Balance,
+        PredictorKind::Composite,
+        PredictorKind::Score,
+    ];
+
+    /// The predictors that vote inside `Score`.
+    pub const VOTERS: [PredictorKind; 9] = [
+        PredictorKind::Ipc,
+        PredictorKind::AllConf,
+        PredictorKind::Dcache,
+        PredictorKind::Fq,
+        PredictorKind::Fp,
+        PredictorKind::Sum2,
+        PredictorKind::Diversity,
+        PredictorKind::Balance,
+        PredictorKind::Composite,
+    ];
+
+    /// The paper's name for the predictor.
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Ipc => "IPC",
+            PredictorKind::AllConf => "AllConf",
+            PredictorKind::Dcache => "Dcache",
+            PredictorKind::Fq => "FQ",
+            PredictorKind::Fp => "FP",
+            PredictorKind::Sum2 => "Sum2",
+            PredictorKind::Diversity => "Diversity",
+            PredictorKind::Balance => "Balance",
+            PredictorKind::Composite => "Composite",
+            PredictorKind::Score => "Score",
+        }
+    }
+
+    /// Parses a predictor name (case-insensitive).
+    pub fn parse(s: &str) -> Option<PredictorKind> {
+        let lower = s.trim().to_ascii_lowercase();
+        PredictorKind::ALL
+            .into_iter()
+            .find(|p| p.name().to_ascii_lowercase() == lower)
+    }
+
+    /// Scores every sampled schedule; higher = predicted more symbiotic.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn scores(self, samples: &[ScheduleSample]) -> Vec<f64> {
+        assert!(!samples.is_empty(), "cannot predict from zero samples");
+        match self {
+            PredictorKind::Ipc => samples.iter().map(|s| s.ipc).collect(),
+            PredictorKind::AllConf => samples.iter().map(|s| -s.allconf).collect(),
+            PredictorKind::Dcache => samples.iter().map(|s| s.dcache).collect(),
+            PredictorKind::Fq => samples.iter().map(|s| -s.fq).collect(),
+            PredictorKind::Fp => samples.iter().map(|s| -s.fp).collect(),
+            PredictorKind::Sum2 => samples.iter().map(|s| -s.sum2).collect(),
+            PredictorKind::Diversity => samples.iter().map(|s| -s.diversity).collect(),
+            PredictorKind::Balance => samples.iter().map(|s| -s.balance).collect(),
+            PredictorKind::Composite => composite_scores(samples),
+            PredictorKind::Score => vote_scores(samples),
+        }
+    }
+
+    /// The index of the schedule this predictor picks (deterministic: ties go
+    /// to the earliest candidate).
+    ///
+    /// ```
+    /// use sos_core::predictor::PredictorKind;
+    /// use sos_core::sample::ScheduleSample;
+    /// let fast = ScheduleSample { notation: "01_23".into(), ipc: 3.0, allconf: 90.0,
+    ///     dcache: 98.0, fq: 5.0, fp: 4.0, sum2: 9.0, diversity: 0.2, balance: 0.1 };
+    /// let slow = ScheduleSample { ipc: 2.0, notation: "02_13".into(), ..fast.clone() };
+    /// assert_eq!(PredictorKind::Ipc.choose(&[fast, slow]), 0);
+    /// ```
+    pub fn choose(self, samples: &[ScheduleSample]) -> usize {
+        argmax(&self.scores(samples))
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The Composite predictor (§5.2): highest
+/// `0.9 / MIN{FQ/lowestFQ, FP/lowestFP, SUM2/lowestSUM2} + 0.1 / Balance`,
+/// where the `lowest` terms are the best values observed across the sampled
+/// schedules. It weights smoothness (balance) most, with some weight on low
+/// conflicts on the critical FP resources.
+pub fn composite_scores(samples: &[ScheduleSample]) -> Vec<f64> {
+    let low_fq = samples
+        .iter()
+        .map(|s| s.fq)
+        .fold(f64::INFINITY, f64::min)
+        .max(EPS);
+    let low_fp = samples
+        .iter()
+        .map(|s| s.fp)
+        .fold(f64::INFINITY, f64::min)
+        .max(EPS);
+    let low_sum2 = samples
+        .iter()
+        .map(|s| s.sum2)
+        .fold(f64::INFINITY, f64::min)
+        .max(EPS);
+    samples
+        .iter()
+        .map(|s| {
+            let ratios = [
+                s.fq.max(EPS) / low_fq,
+                s.fp.max(EPS) / low_fp,
+                s.sum2.max(EPS) / low_sum2,
+            ];
+            let min_ratio = ratios.into_iter().fold(f64::INFINITY, f64::min);
+            0.9 / min_ratio + 0.1 / s.balance.max(EPS)
+        })
+        .collect()
+}
+
+/// The Score predictor: each voter predictor casts one vote for its top
+/// schedule; the schedule with the most votes wins. Ties are broken "by
+/// relative magnitude of goodness predicted": the mean over voters of the
+/// schedule's min-max-normalized score.
+pub fn vote_scores(samples: &[ScheduleSample]) -> Vec<f64> {
+    let n = samples.len();
+    let mut votes = vec![0usize; n];
+    let mut goodness = vec![0.0f64; n];
+    for voter in PredictorKind::VOTERS {
+        let scores = voter.scores(samples);
+        votes[argmax(&scores)] += 1;
+        let (lo, hi) = (
+            scores.iter().copied().fold(f64::INFINITY, f64::min),
+            scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let span = (hi - lo).max(EPS);
+        for (g, s) in goodness.iter_mut().zip(&scores) {
+            *g += (s - lo) / span;
+        }
+    }
+    // Major component: votes; tie-break: normalized goodness in [0, 1).
+    votes
+        .iter()
+        .zip(&goodness)
+        .map(|(&v, &g)| v as f64 + g / (PredictorKind::VOTERS.len() as f64 + 1.0))
+        .collect()
+}
+
+/// Index of the maximum (first on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate() {
+        if *x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn sample(
+        notation: &str,
+        ipc: f64,
+        allconf: f64,
+        dcache: f64,
+        fq: f64,
+        fp: f64,
+        diversity: f64,
+        balance: f64,
+    ) -> ScheduleSample {
+        ScheduleSample {
+            notation: notation.into(),
+            ipc,
+            allconf,
+            dcache,
+            fq,
+            fp,
+            sum2: fq + fp,
+            diversity,
+            balance,
+        }
+    }
+
+    /// Three synthetic schedules with clearly different profiles.
+    fn samples() -> Vec<ScheduleSample> {
+        vec![
+            // Schedule 0: high IPC, high conflicts, unbalanced.
+            sample("a", 3.5, 150.0, 97.0, 30.0, 25.0, 0.2, 1.2),
+            // Schedule 1: moderate everything, very smooth.
+            sample("b", 3.2, 120.0, 97.5, 8.0, 12.0, 0.15, 0.1),
+            // Schedule 2: low conflicts, best cache, middling balance.
+            sample("c", 3.3, 100.0, 98.5, 6.0, 10.0, 0.18, 0.5),
+        ]
+    }
+
+    #[test]
+    fn simple_predictors_pick_their_extremes() {
+        let s = samples();
+        assert_eq!(PredictorKind::Ipc.choose(&s), 0);
+        assert_eq!(PredictorKind::AllConf.choose(&s), 2);
+        assert_eq!(PredictorKind::Dcache.choose(&s), 2);
+        assert_eq!(PredictorKind::Fq.choose(&s), 2);
+        assert_eq!(PredictorKind::Fp.choose(&s), 2);
+        assert_eq!(PredictorKind::Sum2.choose(&s), 2);
+        assert_eq!(PredictorKind::Diversity.choose(&s), 1);
+        assert_eq!(PredictorKind::Balance.choose(&s), 1);
+    }
+
+    #[test]
+    fn composite_prefers_smooth_low_conflict() {
+        let s = samples();
+        // Schedule 1's balance of 0.1 gives 0.1/0.1 = 1.0 plus a decent
+        // conflict term; schedule 2 has min-ratio 1 (best conflicts) but
+        // balance term only 0.2.
+        assert_eq!(PredictorKind::Composite.choose(&s), 1);
+    }
+
+    #[test]
+    fn score_is_majority_vote() {
+        let s = samples();
+        // Voters: IPC->0; AllConf,Dcache,FQ,FP,Sum2->2; Diversity,Balance,Composite->1.
+        // Majority: schedule 2 with 5 votes.
+        assert_eq!(PredictorKind::Score.choose(&s), 2);
+        let scores = PredictorKind::Score.scores(&s);
+        assert!(scores[2] > 5.0 - 1e-9 && scores[2] < 6.0);
+    }
+
+    #[test]
+    fn vote_tiebreak_uses_goodness() {
+        // Two schedules, each winning some votes; goodness decides.
+        let s = vec![
+            sample("a", 3.0, 100.0, 98.0, 10.0, 10.0, 0.1, 0.2),
+            sample("b", 3.0, 100.0, 98.0, 10.0, 10.0, 0.1, 0.2),
+        ];
+        // Perfectly tied: argmax breaks to index 0 deterministically.
+        assert_eq!(PredictorKind::Score.choose(&s), 0);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in PredictorKind::ALL {
+            assert_eq!(PredictorKind::parse(p.name()), Some(p));
+        }
+        assert_eq!(PredictorKind::parse("score"), Some(PredictorKind::Score));
+        assert_eq!(PredictorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn zero_conflicts_do_not_panic() {
+        let s = vec![
+            sample("a", 2.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0),
+            sample("b", 1.0, 0.0, 100.0, 0.0, 0.0, 0.0, 0.0),
+        ];
+        for p in PredictorKind::ALL {
+            let scores = p.scores(&s);
+            assert!(scores.iter().all(|x| x.is_finite()), "{p}: {scores:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_samples_rejected() {
+        let _ = PredictorKind::Ipc.scores(&[]);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

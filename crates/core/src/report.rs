@@ -1,0 +1,151 @@
+//! Aggregate reporting across experiments: the predictor league table.
+//!
+//! Given the [`ExperimentReport`]s of several experiments, ranks every
+//! predictor (plus the sampled-WS oracle and the best-possible schedule) by
+//! the mean percent gain of its pick over the random-scheduler expectation.
+
+use crate::predictor::PredictorKind;
+use crate::sos::ExperimentReport;
+use serde::{Deserialize, Serialize};
+
+/// One row of the league table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LeagueRow {
+    /// Predictor name, or `"SampledWS"` / `"BestPossible"` for the baselines.
+    pub name: String,
+    /// Mean percent gain over the per-experiment average WS.
+    pub mean_pct: f64,
+    /// Worst-case percent gain.
+    pub min_pct: f64,
+    /// Best-case percent gain.
+    pub max_pct: f64,
+}
+
+fn pct_over(a: f64, b: f64) -> f64 {
+    100.0 * (a / b - 1.0)
+}
+
+fn row(name: &str, gains: &[f64]) -> LeagueRow {
+    LeagueRow {
+        name: name.to_string(),
+        mean_pct: gains.iter().sum::<f64>() / gains.len().max(1) as f64,
+        min_pct: gains.iter().copied().fold(f64::INFINITY, f64::min),
+        max_pct: gains.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Builds the league table, sorted by mean gain (best first).
+///
+/// # Panics
+/// Panics if `reports` is empty.
+pub fn league_table(reports: &[ExperimentReport]) -> Vec<LeagueRow> {
+    assert!(!reports.is_empty(), "need at least one experiment report");
+    let mut rows = Vec::new();
+    for p in PredictorKind::ALL {
+        let gains: Vec<f64> = reports
+            .iter()
+            .map(|r| pct_over(r.ws_with(p), r.average_ws()))
+            .collect();
+        rows.push(row(p.name(), &gains));
+    }
+    let oracle: Vec<f64> = reports
+        .iter()
+        .map(|r| pct_over(r.oracle_ws(), r.average_ws()))
+        .collect();
+    rows.push(row("SampledWS", &oracle));
+    let best: Vec<f64> = reports
+        .iter()
+        .map(|r| pct_over(r.best_ws(), r.average_ws()))
+        .collect();
+    rows.push(row("BestPossible", &best));
+    rows.sort_by(|a, b| b.mean_pct.total_cmp(&a.mean_pct));
+    rows
+}
+
+/// Formats the table for terminal output.
+pub fn format_league_table(rows: &[LeagueRow]) -> String {
+    let mut out = format!(
+        "{:<12} {:>10} {:>10} {:>10}\n",
+        "predictor", "mean", "min", "max"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>9.2}% {:>9.2}% {:>9.2}%\n",
+            r.name, r.mean_pct, r.min_pct, r.max_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentSpec;
+    use crate::sample::ScheduleSample;
+
+    /// A fabricated report where candidate 0 is best and every predictor
+    /// picked a known index.
+    fn fake_report(ws: Vec<f64>, picks_idx: usize, oracle_idx: usize) -> ExperimentReport {
+        let sample = ScheduleSample {
+            notation: "s".into(),
+            ipc: 1.0,
+            allconf: 1.0,
+            dcache: 1.0,
+            fq: 1.0,
+            fp: 1.0,
+            sum2: 2.0,
+            diversity: 1.0,
+            balance: 1.0,
+        };
+        let mut sample_ws = vec![0.0; ws.len()];
+        sample_ws[oracle_idx] = 1.0;
+        ExperimentReport {
+            spec: ExperimentSpec::new(4, 2, 2),
+            candidates: (0..ws.len()).map(|i| format!("c{i}")).collect(),
+            samples: vec![sample; ws.len()],
+            symbios_ws: ws,
+            picks: PredictorKind::ALL.iter().map(|&p| (p, picks_idx)).collect(),
+            sample_ws,
+            solo: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn league_table_ranks_best_possible_first() {
+        // Oracle picks the middling candidate 2, predictors pick the worst.
+        let reports = vec![fake_report(vec![2.0, 1.0, 1.5], 1, 2)];
+        let rows = league_table(&reports);
+        assert_eq!(rows[0].name, "BestPossible");
+        // avg = 1.5; best = 2.0 -> +33.3%.
+        assert!((rows[0].mean_pct - 33.333).abs() < 0.01);
+        // All predictors picked candidate 1 (WS 1.0 -> -33.3%).
+        let ipc = rows.iter().find(|r| r.name == "IPC").unwrap();
+        assert!((ipc.mean_pct + 33.333).abs() < 0.01);
+        // Oracle picked candidate 2 (WS 1.5 -> 0%).
+        let oracle = rows.iter().find(|r| r.name == "SampledWS").unwrap();
+        assert!(oracle.mean_pct.abs() < 0.01);
+    }
+
+    #[test]
+    fn league_table_has_twelve_rows() {
+        let reports = vec![fake_report(vec![1.0, 1.0], 0, 0)];
+        let rows = league_table(&reports);
+        assert_eq!(rows.len(), PredictorKind::ALL.len() + 2);
+    }
+
+    #[test]
+    fn format_contains_every_row() {
+        let reports = vec![fake_report(vec![1.2, 1.0], 0, 1)];
+        let rows = league_table(&reports);
+        let text = format_league_table(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.name), "{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one experiment")]
+    fn empty_reports_rejected() {
+        let _ = league_table(&[]);
+    }
+}

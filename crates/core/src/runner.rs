@@ -1,0 +1,240 @@
+//! Driving the processor through schedules.
+//!
+//! The [`Runner`] owns the [`Processor`] and the [`JobPool`] and executes
+//! coschedules timeslice by timeslice, exactly as the paper's jobscheduler
+//! does: "Every 5 million cycles ... the jobscheduler receives a clock pulse;
+//! if runnable jobs are available that were not scheduled during the previous
+//! timeslice, it swaps out one or more of the jobs that ran in the last
+//! timeslice, replacing these with jobs that did not."
+
+use crate::job::JobPool;
+use crate::schedule::{Coschedule, Schedule};
+use crate::ws::{weighted_speedup, SoloRates};
+use smtsim::{MachineConfig, Processor, TimesliceStats};
+
+/// Everything measured while running one full rotation of a schedule.
+#[derive(Clone, Debug)]
+pub struct RotationStats {
+    /// Per-slice hardware-counter snapshots, in execution order.
+    pub slices: Vec<TimesliceStats>,
+    /// The coschedule each slice ran.
+    pub tuples: Vec<Coschedule>,
+}
+
+impl RotationStats {
+    /// Total cycles across the rotation.
+    pub fn cycles(&self) -> u64 {
+        self.slices.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Committed instructions per pool thread over the rotation.
+    pub fn committed_per_thread(&self, num_threads: usize) -> Vec<u64> {
+        let mut out = vec![0u64; num_threads];
+        for (slice, tuple) in self.slices.iter().zip(&self.tuples) {
+            for &t in tuple.threads() {
+                if let Some(ts) = slice.thread(smtsim::StreamId(t as u32)) {
+                    out[t] += ts.committed;
+                }
+            }
+        }
+        out
+    }
+
+    /// `WS(t)` of the rotation given solo rates.
+    pub fn weighted_speedup(&self, solo: &SoloRates) -> f64 {
+        let committed = self.committed_per_thread(solo.len());
+        weighted_speedup(&committed, self.cycles(), solo)
+    }
+}
+
+/// Drives a processor through coschedules of a job pool.
+pub struct Runner {
+    processor: Processor,
+    pool: JobPool,
+    timeslice: u64,
+}
+
+impl Runner {
+    /// Builds a runner. `timeslice` is the scheduler clock in cycles.
+    ///
+    /// # Panics
+    /// Panics if `timeslice == 0` or the machine configuration is invalid.
+    pub fn new(cfg: MachineConfig, pool: JobPool, timeslice: u64) -> Self {
+        assert!(timeslice > 0, "timeslice must be positive");
+        Runner {
+            processor: Processor::new(cfg),
+            pool,
+            timeslice,
+        }
+    }
+
+    /// The job pool.
+    pub fn pool(&self) -> &JobPool {
+        &self.pool
+    }
+
+    /// The scheduler clock in cycles.
+    pub fn timeslice(&self) -> u64 {
+        self.timeslice
+    }
+
+    /// The number of hardware contexts.
+    pub fn contexts(&self) -> usize {
+        self.processor.contexts()
+    }
+
+    /// Runs one coschedule for `cycles` cycles.
+    ///
+    /// # Panics
+    /// Panics if the tuple is larger than the number of hardware contexts.
+    pub fn run_tuple(&mut self, tuple: &Coschedule, cycles: u64) -> TimesliceStats {
+        let mut refs = self.pool.select_mut(tuple.threads());
+        let mut dyns: Vec<&mut dyn smtsim::trace::InstructionSource> = refs
+            .iter_mut()
+            .map(|r| r as &mut dyn smtsim::trace::InstructionSource)
+            .collect();
+        self.processor.run_timeslice(&mut dyns, cycles)
+    }
+
+    /// Runs one full rotation of `schedule` (each slice one timeslice long).
+    pub fn run_rotation(&mut self, schedule: &Schedule) -> RotationStats {
+        let tuples = schedule.tuples();
+        let slices = tuples
+            .iter()
+            .map(|t| self.run_tuple(t, self.timeslice))
+            .collect();
+        RotationStats { slices, tuples }
+    }
+
+    /// Runs `rotations` rotations of `schedule`, returning per-rotation stats.
+    pub fn run_schedule(&mut self, schedule: &Schedule, rotations: usize) -> Vec<RotationStats> {
+        (0..rotations)
+            .map(|_| self.run_rotation(schedule))
+            .collect()
+    }
+
+    /// Measures each thread's single-threaded (solo) IPC: every job group
+    /// runs alone — siblings of a parallel job together, as §7 requires —
+    /// for a `warmup` then a `measure` window.
+    ///
+    /// # Panics
+    /// Panics if `measure == 0`.
+    pub fn calibrate_solo(&mut self, warmup: u64, measure: u64) -> SoloRates {
+        assert!(measure > 0, "measurement window must be non-empty");
+        let mut rates = vec![0.0; self.pool.len()];
+        let groups: Vec<Vec<usize>> = self.pool.groups().to_vec();
+        for group in groups {
+            let tuple = Coschedule::new(group.iter().copied());
+            self.processor.flush_memory_state();
+            if warmup > 0 {
+                let _ = self.run_tuple(&tuple, warmup);
+            }
+            let stats = self.run_tuple(&tuple, measure);
+            for &t in tuple.threads() {
+                let ipc = stats
+                    .thread(smtsim::StreamId(t as u32))
+                    .map(|ts| ts.ipc(measure))
+                    .unwrap_or(0.0);
+                rates[t] = ipc.max(1e-6);
+            }
+        }
+        self.processor.flush_memory_state();
+        SoloRates::new(rates)
+    }
+
+    /// Direct access to the processor (e.g. to flush caches for cold-start
+    /// experiments).
+    pub fn processor_mut(&mut self) -> &mut Processor {
+        &mut self.processor
+    }
+
+    /// Consumes the runner, returning the pool (e.g. to rebuild with a
+    /// different machine).
+    pub fn into_pool(self) -> JobPool {
+        self.pool
+    }
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("threads", &self.pool.len())
+            .field("contexts", &self.processor.contexts())
+            .field("timeslice", &self.timeslice)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::{Benchmark, JobSpec};
+
+    fn pool4() -> JobPool {
+        JobPool::from_specs(
+            &[
+                JobSpec::single(Benchmark::Fp),
+                JobSpec::single(Benchmark::Mg),
+                JobSpec::single(Benchmark::Gcc),
+                JobSpec::single(Benchmark::Is),
+            ],
+            7,
+        )
+    }
+
+    fn runner() -> Runner {
+        Runner::new(MachineConfig::alpha21264_like(2), pool4(), 5_000)
+    }
+
+    #[test]
+    fn rotation_runs_every_tuple() {
+        let mut r = runner();
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        let rot = r.run_rotation(&s);
+        assert_eq!(rot.slices.len(), 2);
+        assert_eq!(rot.cycles(), 10_000);
+        let committed = rot.committed_per_thread(4);
+        assert!(committed.iter().all(|&c| c > 0), "{committed:?}");
+    }
+
+    #[test]
+    fn calibration_is_positive_and_ordered() {
+        let mut r = runner();
+        let solo = r.calibrate_solo(20_000, 20_000);
+        assert_eq!(solo.len(), 4);
+        // FP should be much faster solo than IS.
+        assert!(solo.rate(0) > solo.rate(3), "{solo:?}");
+    }
+
+    #[test]
+    fn ws_of_coschedule_is_plausible() {
+        let mut r = runner();
+        let solo = r.calibrate_solo(50_000, 50_000);
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        // Warm up one rotation, then measure a few.
+        let _ = r.run_rotation(&s);
+        let rots = r.run_schedule(&s, 3);
+        for rot in &rots {
+            let ws = rot.weighted_speedup(&solo);
+            assert!(
+                (0.4..2.5).contains(&ws),
+                "WS should be near [0.8, 2.0] for 2 contexts / 4 jobs: {ws}"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_makes_fair_progress() {
+        let mut r = runner();
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        let rots = r.run_schedule(&s, 4);
+        let mut committed = [0u64; 4];
+        for rot in &rots {
+            for (t, c) in rot.committed_per_thread(4).iter().enumerate() {
+                committed[t] += c;
+            }
+        }
+        // Every job was scheduled the same number of cycles.
+        assert!(committed.iter().all(|&c| c > 0));
+    }
+}

@@ -1,0 +1,172 @@
+//! The weighted-speedup metric `WS(t)` (§4 of the paper).
+//!
+//! ```text
+//! WS(t) = Σ_i  realized IPC of job_i  /  single-threaded IPC of job_i
+//! ```
+//!
+//! Realized IPC is measured over the whole interval, including the time a job
+//! spends swapped out, so a perfectly time-shared single-threaded system
+//! scores exactly 1 and any value above 1 is genuine multithreading benefit.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-thread single-threaded (solo) IPC, used as the WS denominator.
+///
+/// For threads of a parallel job the denominator is the thread's issue rate
+/// when the whole job runs alone (the §7 extension of the metric).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoloRates(Vec<f64>);
+
+impl SoloRates {
+    /// Wraps per-thread solo IPCs.
+    ///
+    /// # Panics
+    /// Panics if any rate is non-finite or non-positive (every runnable
+    /// thread makes progress when running alone).
+    pub fn new(rates: Vec<f64>) -> Self {
+        assert!(
+            rates.iter().all(|r| r.is_finite() && *r > 0.0),
+            "solo IPCs must be positive and finite: {rates:?}"
+        );
+        SoloRates(rates)
+    }
+
+    /// Solo IPC of thread `i`.
+    pub fn rate(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether there are no threads.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The rates as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+/// Computes `WS(t)` from per-thread committed instruction counts over an
+/// interval of `cycles` cycles.
+///
+/// `committed[i]` must correspond to `solo.rate(i)`.
+///
+/// # Panics
+/// Panics if the lengths disagree or `cycles == 0`.
+///
+/// # Example
+///
+/// ```
+/// use sos_core::ws::{weighted_speedup, SoloRates};
+/// // Two jobs, solo IPCs 2.0 and 1.0, coscheduled for 1M cycles.
+/// let solo = SoloRates::new(vec![2.0, 1.0]);
+/// // Each contributes exactly its fair share: WS = 1.
+/// assert!((weighted_speedup(&[1_000_000, 500_000], 1_000_000, &solo) - 1.0).abs() < 1e-12);
+/// // Utilization gains push WS above 1 (the paper's 1.2 example).
+/// assert!((weighted_speedup(&[1_200_000, 600_000], 1_000_000, &solo) - 1.2).abs() < 1e-12);
+/// ```
+pub fn weighted_speedup(committed: &[u64], cycles: u64, solo: &SoloRates) -> f64 {
+    assert_eq!(
+        committed.len(),
+        solo.len(),
+        "one committed count per thread"
+    );
+    assert!(cycles > 0, "interval must be non-empty");
+    committed
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c as f64 / cycles as f64) / solo.rate(i))
+        .sum()
+}
+
+/// Computes `WS(t)` for a subset of threads (by index), e.g. one coschedule.
+pub fn weighted_speedup_subset(
+    threads: &[usize],
+    committed: &[u64],
+    cycles: u64,
+    solo: &SoloRates,
+) -> f64 {
+    assert_eq!(committed.len(), threads.len());
+    assert!(cycles > 0, "interval must be non-empty");
+    threads
+        .iter()
+        .zip(committed)
+        .map(|(&i, &c)| (c as f64 / cycles as f64) / solo.rate(i))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_job_scores_one() {
+        let solo = SoloRates::new(vec![1.7]);
+        let committed = (1.7f64 * 1000.0) as u64;
+        let ws = weighted_speedup(&[committed], 1000, &solo);
+        assert!((ws - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn time_shared_system_scores_one() {
+        // Three jobs each run one third of the interval at solo speed.
+        let solo = SoloRates::new(vec![2.0, 1.0, 0.5]);
+        let cycles = 3000u64;
+        let committed = [2000, 1000, 500];
+        let ws = weighted_speedup(&committed, cycles, &solo);
+        assert!((ws - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfair_time_sharing_still_scores_one() {
+        // Favoring the high-IPC job does not inflate WS.
+        let solo = SoloRates::new(vec![2.0, 1.0]);
+        let cycles = 1000u64;
+        // Job 0 runs 90% of the time, job 1 runs 10%.
+        let committed = [(0.9 * 2.0 * 1000.0) as u64, (0.1 * 1.0 * 1000.0) as u64];
+        let ws = weighted_speedup(&committed, cycles, &solo);
+        assert!((ws - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathological_interaction_scores_below_one() {
+        let solo = SoloRates::new(vec![1.0, 1.0]);
+        let ws = weighted_speedup(&[300, 300], 1000, &solo);
+        assert!(ws < 1.0);
+    }
+
+    #[test]
+    fn subset_matches_full_on_identity() {
+        let solo = SoloRates::new(vec![2.0, 1.0, 0.5]);
+        let full = weighted_speedup(&[100, 200, 300], 1000, &solo);
+        let sub = weighted_speedup_subset(&[0, 1, 2], &[100, 200, 300], 1000, &solo);
+        assert!((full - sub).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_reorders_correctly() {
+        let solo = SoloRates::new(vec![2.0, 1.0]);
+        let a = weighted_speedup_subset(&[1, 0], &[500, 1000], 1000, &solo);
+        let b = weighted_speedup(&[1000, 500], 1000, &solo);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_solo_rate_rejected() {
+        let _ = SoloRates::new(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one committed count per thread")]
+    fn length_mismatch_rejected() {
+        let solo = SoloRates::new(vec![1.0]);
+        let _ = weighted_speedup(&[1, 2], 10, &solo);
+    }
+}

@@ -1,0 +1,406 @@
+//! Set-associative caches with true-LRU replacement, and the shared
+//! L1I/L1D/L2 hierarchy.
+//!
+//! All levels are physically shared among hardware contexts: distinct jobs
+//! occupy (and evict) the same sets, which is one of the channels through
+//! which coscheduled jobs interfere.
+
+use crate::config::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// One set-associative cache level with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `sets[s]` holds up to `assoc` tags ordered most- to least-recently used.
+    sets: Vec<Vec<u64>>,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache with the given geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::num_sets`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        let num_sets = cfg.num_sets();
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.assoc); num_sets],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: num_sets as u64 - 1,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Hit latency of this level.
+    #[inline]
+    pub fn hit_latency(&self) -> u64 {
+        self.cfg.hit_latency
+    }
+
+    #[inline]
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On miss the line is filled
+    /// (allocate-on-miss for both reads and writes), evicting the LRU line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            if set.len() == self.cfg.assoc {
+                set.pop();
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Looks up `addr` without updating replacement state or filling.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set_idx, tag) = self.index(addr);
+        self.sets[set_idx].contains(&tag)
+    }
+
+    /// Invalidates all lines (used for cold-start experiments).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.cfg.assoc
+    }
+
+    /// Resident lines belonging to the address-space tag `stream` (the upper
+    /// bits of the address, see [`crate::trace::StreamId::tag_addr`]). Useful
+    /// for inspecting how coscheduled jobs partition a shared cache.
+    pub fn resident_lines_of(&self, stream: u32) -> usize {
+        // Tags store `addr >> (line_shift + set_bits)`; the stream id sits at
+        // bit 40 of the address.
+        let shift =
+            crate::trace::StreamId::ADDR_BITS - self.line_shift - self.set_mask.count_ones();
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|&&tag| (tag >> shift) as u32 == stream)
+            .count()
+    }
+}
+
+/// Per-level reference/miss counts for one timeslice.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// L1 data cache references.
+    pub dl1_refs: u64,
+    /// L1 data cache misses.
+    pub dl1_misses: u64,
+    /// L1 instruction cache references (one per fetched line, not per instr).
+    pub il1_refs: u64,
+    /// L1 instruction cache misses.
+    pub il1_misses: u64,
+    /// L2 references (L1 misses of either kind).
+    pub l2_refs: u64,
+    /// L2 misses (references that went to memory).
+    pub l2_misses: u64,
+}
+
+impl CacheStats {
+    /// L1 data-cache hit rate in percent; 100.0 when there were no references.
+    pub fn dl1_hit_pct(&self) -> f64 {
+        if self.dl1_refs == 0 {
+            100.0
+        } else {
+            100.0 * (self.dl1_refs - self.dl1_misses) as f64 / self.dl1_refs as f64
+        }
+    }
+
+    /// Accumulates another timeslice's counts into `self`.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.dl1_refs += other.dl1_refs;
+        self.dl1_misses += other.dl1_misses;
+        self.il1_refs += other.il1_refs;
+        self.il1_misses += other.il1_misses;
+        self.l2_refs += other.l2_refs;
+        self.l2_misses += other.l2_misses;
+    }
+}
+
+/// The shared L1I + L1D + unified L2 hierarchy.
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    il1: Cache,
+    dl1: Cache,
+    l2: Cache,
+    mem_latency: u64,
+    /// Counters for the current timeslice; drained by the pipeline.
+    pub stats: CacheStats,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy from the three level configurations.
+    pub fn new(
+        icache: CacheConfig,
+        dcache: CacheConfig,
+        l2: CacheConfig,
+        mem_latency: u64,
+    ) -> Self {
+        CacheHierarchy {
+            il1: Cache::new(icache),
+            dl1: Cache::new(dcache),
+            l2: Cache::new(l2),
+            mem_latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Data access (load or store): returns the access latency in cycles and
+    /// updates hit/miss counters. Misses propagate to L2 and memory.
+    pub fn access_data(&mut self, addr: u64) -> u64 {
+        self.stats.dl1_refs += 1;
+        if self.dl1.access(addr) {
+            return self.dl1.hit_latency();
+        }
+        self.stats.dl1_misses += 1;
+        self.stats.l2_refs += 1;
+        if self.l2.access(addr) {
+            return self.dl1.hit_latency() + self.l2.hit_latency();
+        }
+        self.stats.l2_misses += 1;
+        self.dl1.hit_latency() + self.l2.hit_latency() + self.mem_latency
+    }
+
+    /// Instruction-line access: returns the extra fetch latency (0 on hit).
+    pub fn access_instr(&mut self, addr: u64) -> u64 {
+        self.stats.il1_refs += 1;
+        if self.il1.access(addr) {
+            return self.il1.hit_latency();
+        }
+        self.stats.il1_misses += 1;
+        self.stats.l2_refs += 1;
+        if self.l2.access(addr) {
+            return self.il1.hit_latency() + self.l2.hit_latency();
+        }
+        self.stats.l2_misses += 1;
+        self.il1.hit_latency() + self.l2.hit_latency() + self.mem_latency
+    }
+
+    /// Takes and resets the per-timeslice counters.
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Invalidates every level (cold start).
+    pub fn flush(&mut self) {
+        self.il1.flush();
+        self.dl1.flush();
+        self.l2.flush();
+    }
+
+    /// The L1 data cache (for inspection in tests/experiments).
+    pub fn dl1(&self) -> &Cache {
+        &self.dl1
+    }
+
+    /// The unified L2 (for inspection in tests/experiments).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Line size of the instruction cache in bytes.
+    pub fn il1_line_bytes(&self) -> u64 {
+        self.il1.config().line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+            hit_latency: 3,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1030)); // same line (64B)
+        assert!(!c.access(0x1040)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = 4 sets * 64B = 256B).
+        let (a, b, d) = (0x0, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is MRU, b is LRU
+        c.access(d); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0x40);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut c = tiny();
+        for i in 0..1000 {
+            c.access(i * 64);
+        }
+        assert!(c.resident_lines() <= c.capacity_lines());
+        assert_eq!(c.capacity_lines(), 8);
+    }
+
+    #[test]
+    fn residency_by_stream() {
+        use crate::trace::StreamId;
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 64 << 10,
+            line_bytes: 64,
+            assoc: 2,
+            hit_latency: 3,
+        });
+        for i in 0..10u64 {
+            c.access(StreamId(1).tag_addr(i * 64));
+        }
+        for i in 0..4u64 {
+            c.access(StreamId(2).tag_addr(i * 64));
+        }
+        assert_eq!(c.resident_lines_of(1), 10);
+        assert_eq!(c.resident_lines_of(2), 4);
+        assert_eq!(c.resident_lines_of(3), 0);
+    }
+
+    #[test]
+    fn hierarchy_latencies_escalate() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                assoc: 2,
+                hit_latency: 0,
+            },
+            CacheConfig {
+                size_bytes: 512,
+                line_bytes: 64,
+                assoc: 2,
+                hit_latency: 3,
+            },
+            CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                assoc: 1,
+                hit_latency: 14,
+            },
+            90,
+        );
+        let cold = h.access_data(0x5000);
+        assert_eq!(cold, 3 + 14 + 90);
+        let l1_hit = h.access_data(0x5000);
+        assert_eq!(l1_hit, 3);
+        assert_eq!(h.stats.dl1_refs, 2);
+        assert_eq!(h.stats.dl1_misses, 1);
+        assert_eq!(h.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn l2_catches_l1_evictions() {
+        let mut h = CacheHierarchy::new(
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 64,
+                assoc: 1,
+                hit_latency: 0,
+            },
+            CacheConfig {
+                size_bytes: 128,
+                line_bytes: 64,
+                assoc: 1,
+                hit_latency: 3,
+            },
+            CacheConfig {
+                size_bytes: 4096,
+                line_bytes: 64,
+                assoc: 1,
+                hit_latency: 14,
+            },
+            90,
+        );
+        h.access_data(0x0); // cold miss, fills L1 set 0 and L2
+        h.access_data(0x80); // conflicts in tiny L1 (2 sets), evicts 0x0 from L1
+        let lat = h.access_data(0x0); // L1 miss, L2 hit
+        assert_eq!(lat, 3 + 14);
+    }
+
+    #[test]
+    fn stats_hit_pct() {
+        let s = CacheStats {
+            dl1_refs: 100,
+            dl1_misses: 3,
+            ..Default::default()
+        };
+        assert!((s.dl1_hit_pct() - 97.0).abs() < 1e-9);
+        assert_eq!(CacheStats::default().dl1_hit_pct(), 100.0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = CacheStats {
+            dl1_refs: 10,
+            dl1_misses: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            dl1_refs: 5,
+            dl1_misses: 2,
+            l2_refs: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dl1_refs, 15);
+        assert_eq!(a.dl1_misses, 3);
+        assert_eq!(a.l2_refs, 3);
+    }
+}

@@ -1,0 +1,369 @@
+//! Machine configuration: resource sizes, latencies, cache geometry.
+//!
+//! The default configuration, [`MachineConfig::alpha21264_like`], follows the
+//! paper's description of SMTSIM: "We model 21264 instruction latencies,
+//! functional units (fully pipelined), sizes of instruction queues, sizes and
+//! associativities of caches, and TLB capacity."
+
+use serde::{Deserialize, Serialize};
+
+/// Execution latencies per instruction class, in cycles.
+///
+/// Memory instructions additionally pay the cache/TLB access latency computed
+/// by the memory hierarchy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// Integer ALU operations.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// FP add/subtract.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// Cycles an FP divide occupies its unit (divide is not pipelined on the
+    /// 21264; this is the initiation interval).
+    pub fp_div_occupancy: u64,
+    /// Store (address generation; data retires via the write buffer).
+    pub store: u64,
+    /// Branch resolution.
+    pub branch: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        // Alpha 21264-like latencies.
+        Latencies {
+            int_alu: 1,
+            int_mul: 7,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 12,
+            fp_div_occupancy: 12,
+            store: 1,
+            branch: 1,
+        }
+    }
+}
+
+/// Geometry of one cache level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total size in bytes. Must be a power of two.
+    pub size_bytes: u64,
+    /// Line size in bytes. Must be a power of two.
+    pub line_bytes: u64,
+    /// Associativity (ways per set). Must divide `size_bytes / line_bytes`.
+    pub assoc: usize,
+    /// Hit latency in cycles (cost added to a reference serviced here).
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry is inconsistent (non-power-of-two sizes or an
+    /// associativity that does not divide the line count).
+    pub fn num_sets(&self) -> usize {
+        assert!(
+            self.size_bytes.is_power_of_two(),
+            "cache size must be a power of two"
+        );
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let lines = (self.size_bytes / self.line_bytes) as usize;
+        assert!(
+            self.assoc > 0 && lines.is_multiple_of(self.assoc),
+            "associativity must divide line count"
+        );
+        lines / self.assoc
+    }
+}
+
+/// How the fetch stage chooses which threads to fetch from each cycle.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FetchPolicy {
+    /// ICOUNT (Tullsen et al., ISCA '96): prefer the threads with the fewest
+    /// instructions in the pre-issue pipeline stages. Self-balancing; the
+    /// policy the paper's simulator uses.
+    #[default]
+    Icount,
+    /// Round-robin: rotate fetch priority among threads regardless of their
+    /// pipeline occupancy. The classic baseline ICOUNT was shown to beat.
+    RoundRobin,
+    /// BRCOUNT (Tullsen et al., ISCA '96): prefer the threads with the
+    /// fewest unresolved branches in flight (least likely to be fetching a
+    /// wrong path).
+    Brcount,
+    /// MISSCOUNT (Tullsen et al., ISCA '96): prefer the threads with the
+    /// fewest outstanding data-cache misses (least likely to clog the
+    /// queues with unready instructions).
+    Misscount,
+}
+
+/// Branch predictor configuration (shared gshare tables, per-thread history).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchConfig {
+    /// log2 of the number of 2-bit counters in the shared pattern table.
+    pub table_bits: u32,
+    /// Bits of per-thread global history XORed into the index.
+    pub history_bits: u32,
+    /// Cycles of fetch stall charged to a thread on a misprediction, on top of
+    /// waiting for the branch to resolve.
+    pub mispredict_penalty: u64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            table_bits: 12,
+            history_bits: 8,
+            mispredict_penalty: 7,
+        }
+    }
+}
+
+/// Full machine description.
+///
+/// Construct with [`MachineConfig::alpha21264_like`] and adjust fields as
+/// needed; all fields are public because this is passive configuration data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of hardware contexts (the SMT level; the paper uses 2, 3, 4, 6).
+    pub contexts: usize,
+    /// Maximum instructions fetched per cycle (8 for ICOUNT.2.8).
+    pub fetch_width: usize,
+    /// Maximum threads fetched from per cycle (2 for ICOUNT.2.8).
+    pub fetch_threads: usize,
+    /// Fetch-priority policy.
+    pub fetch_policy: FetchPolicy,
+    /// Maximum instructions renamed/dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Maximum instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Front-end depth: cycles between fetch and dispatch eligibility.
+    pub frontend_delay: u64,
+    /// Entries in the shared integer instruction queue.
+    pub int_queue: usize,
+    /// Entries in the shared floating-point instruction queue.
+    pub fp_queue: usize,
+    /// Shared integer renaming registers (beyond architectural state).
+    pub int_regs: usize,
+    /// Shared floating-point renaming registers.
+    pub fp_regs: usize,
+    /// Integer functional units.
+    pub int_units: usize,
+    /// Floating-point functional units.
+    pub fp_units: usize,
+    /// Load/store ports.
+    pub ls_ports: usize,
+    /// Per-thread cap on in-flight (fetched, not yet completed) instructions.
+    pub max_inflight_per_thread: usize,
+    /// Execution latencies.
+    pub lat: Latencies,
+    /// L1 instruction cache.
+    pub icache: CacheConfig,
+    /// L1 data cache.
+    pub dcache: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Main-memory latency (cycles) for L2 misses.
+    pub mem_latency: u64,
+    /// Instruction TLB entries (fully associative).
+    pub itlb_entries: usize,
+    /// Data TLB entries (fully associative).
+    pub dtlb_entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// Cycles charged for a TLB miss (software refill on Alpha).
+    pub tlb_miss_penalty: u64,
+    /// Branch predictor configuration.
+    pub branch: BranchConfig,
+}
+
+impl MachineConfig {
+    /// The paper's processor: an out-of-order core based on the Compaq Alpha
+    /// 21264 with `contexts` hardware contexts.
+    ///
+    /// Resource sizes follow the 21264 and the SMTSIM literature: 4 integer
+    /// units, 2 floating-point units, 2 load/store ports, a 20-entry integer
+    /// queue, a 15-entry floating-point queue, 100 + 100 renaming registers,
+    /// 64 KB 2-way L1 caches, a 1 MB direct-mapped L2, and 128-entry TLBs.
+    ///
+    /// # Panics
+    /// Panics if `contexts == 0`.
+    pub fn alpha21264_like(contexts: usize) -> Self {
+        assert!(
+            contexts > 0,
+            "a processor needs at least one hardware context"
+        );
+        MachineConfig {
+            contexts,
+            fetch_width: 8,
+            fetch_threads: 2,
+            fetch_policy: FetchPolicy::Icount,
+            dispatch_width: 8,
+            issue_width: 8,
+            frontend_delay: 4,
+            int_queue: 20,
+            fp_queue: 15,
+            int_regs: 100,
+            fp_regs: 100,
+            int_units: 4,
+            fp_units: 2,
+            ls_ports: 2,
+            max_inflight_per_thread: 64,
+            lat: Latencies::default(),
+            icache: CacheConfig {
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                assoc: 2,
+                hit_latency: 0,
+            },
+            dcache: CacheConfig {
+                size_bytes: 64 << 10,
+                line_bytes: 64,
+                assoc: 2,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 1 << 20,
+                line_bytes: 64,
+                assoc: 1,
+                hit_latency: 14,
+            },
+            mem_latency: 90,
+            itlb_entries: 128,
+            dtlb_entries: 128,
+            page_bytes: 8 << 10,
+            tlb_miss_penalty: 50,
+            branch: BranchConfig::default(),
+        }
+    }
+
+    /// Validates internal consistency; returns a description of the first
+    /// problem found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.contexts == 0 {
+            return Err("contexts must be >= 1".into());
+        }
+        if self.fetch_threads == 0 || self.fetch_width == 0 {
+            return Err("fetch width/threads must be >= 1".into());
+        }
+        if self.int_units == 0 || self.ls_ports == 0 {
+            return Err("need at least one integer unit and one load/store port".into());
+        }
+        if !self.page_bytes.is_power_of_two() {
+            return Err("page size must be a power of two".into());
+        }
+        for (name, c) in [
+            ("icache", &self.icache),
+            ("dcache", &self.dcache),
+            ("l2", &self.l2),
+        ] {
+            if !c.size_bytes.is_power_of_two() || !c.line_bytes.is_power_of_two() {
+                return Err(format!("{name}: sizes must be powers of two"));
+            }
+            let lines = (c.size_bytes / c.line_bytes) as usize;
+            if c.assoc == 0 || !lines.is_multiple_of(c.assoc) {
+                return Err(format!("{name}: associativity must divide line count"));
+            }
+        }
+        if self.max_inflight_per_thread == 0 {
+            return Err("max_inflight_per_thread must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// The largest completion latency any single instruction can incur. Used
+    /// to size the completion wheel.
+    pub(crate) fn max_latency(&self) -> u64 {
+        let exec = [
+            self.lat.int_alu,
+            self.lat.int_mul,
+            self.lat.fp_add,
+            self.lat.fp_mul,
+            self.lat.fp_div,
+            self.lat.store,
+            self.lat.branch,
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(1);
+        let mem = self.dcache.hit_latency
+            + self.l2.hit_latency
+            + self.mem_latency
+            + self.tlb_miss_penalty;
+        exec.max(mem) + 2
+    }
+}
+
+impl Default for MachineConfig {
+    /// The paper's baseline machine at SMT level 2.
+    fn default() -> Self {
+        MachineConfig::alpha21264_like(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        for n in 1..=8 {
+            MachineConfig::alpha21264_like(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn num_sets_math() {
+        let c = CacheConfig {
+            size_bytes: 64 << 10,
+            line_bytes: 64,
+            assoc: 2,
+            hit_latency: 1,
+        };
+        assert_eq!(c.num_sets(), 512);
+        let dm = CacheConfig {
+            size_bytes: 1 << 20,
+            line_bytes: 64,
+            assoc: 1,
+            hit_latency: 1,
+        };
+        assert_eq!(dm.num_sets(), 16384);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hardware context")]
+    fn zero_contexts_rejected() {
+        let _ = MachineConfig::alpha21264_like(0);
+    }
+
+    #[test]
+    fn validate_catches_bad_cache() {
+        let mut cfg = MachineConfig::default();
+        cfg.dcache.assoc = 3; // does not divide 1024 lines
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_bad_page() {
+        let cfg = MachineConfig {
+            page_bytes: 3000,
+            ..MachineConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn max_latency_covers_memory_path() {
+        let cfg = MachineConfig::default();
+        assert!(cfg.max_latency() >= cfg.mem_latency);
+    }
+}

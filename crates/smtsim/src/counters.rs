@@ -1,0 +1,201 @@
+//! Hardware performance counters for shared-resource conflicts.
+//!
+//! The paper's `AllConf` predictor sums "the percentages of cycles for which
+//! the schedule conflicts on each of these resources": the integer queue, the
+//! floating point queue, the integer renaming registers, the floating point
+//! renaming registers, scoreboard entries, integer units, floating point
+//! units, and load/store units. We model all of these except the scoreboard
+//! (subsumed by the per-thread in-flight window cap) and count, per resource,
+//! the number of cycles in which at least one dispatch- or issue-ready
+//! instruction was turned away because the resource was exhausted.
+
+use serde::{Deserialize, Serialize};
+
+/// The shared resources on which conflicts are counted.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Resource {
+    /// Integer instruction queue full at dispatch.
+    IntQueue,
+    /// Floating-point instruction queue full at dispatch.
+    FpQueue,
+    /// Integer renaming registers exhausted at dispatch.
+    IntRegs,
+    /// Floating-point renaming registers exhausted at dispatch.
+    FpRegs,
+    /// All integer units busy while a ready integer instruction waited.
+    IntUnits,
+    /// All floating-point units busy while a ready FP instruction waited.
+    FpUnits,
+    /// All load/store ports busy while a ready memory instruction waited.
+    LsPorts,
+}
+
+impl Resource {
+    /// All counted resources, in a fixed order.
+    pub const ALL: [Resource; 7] = [
+        Resource::IntQueue,
+        Resource::FpQueue,
+        Resource::IntRegs,
+        Resource::FpRegs,
+        Resource::IntUnits,
+        Resource::FpUnits,
+        Resource::LsPorts,
+    ];
+}
+
+impl std::fmt::Display for Resource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Resource::IntQueue => "int_queue",
+            Resource::FpQueue => "fp_queue",
+            Resource::IntRegs => "int_regs",
+            Resource::FpRegs => "fp_regs",
+            Resource::IntUnits => "int_units",
+            Resource::FpUnits => "fp_units",
+            Resource::LsPorts => "ls_ports",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cycles-with-conflict counts for each shared resource over one interval.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictCounters {
+    /// Cycles on which the integer queue rejected a dispatch.
+    pub int_queue: u64,
+    /// Cycles on which the FP queue rejected a dispatch.
+    pub fp_queue: u64,
+    /// Cycles on which integer renaming registers were exhausted.
+    pub int_regs: u64,
+    /// Cycles on which FP renaming registers were exhausted.
+    pub fp_regs: u64,
+    /// Cycles on which a ready integer instruction found no integer unit.
+    pub int_units: u64,
+    /// Cycles on which a ready FP instruction found no FP unit.
+    pub fp_units: u64,
+    /// Cycles on which a ready memory instruction found no load/store port.
+    pub ls_ports: u64,
+}
+
+impl ConflictCounters {
+    /// Count for a given resource.
+    pub fn get(&self, r: Resource) -> u64 {
+        match r {
+            Resource::IntQueue => self.int_queue,
+            Resource::FpQueue => self.fp_queue,
+            Resource::IntRegs => self.int_regs,
+            Resource::FpRegs => self.fp_regs,
+            Resource::IntUnits => self.int_units,
+            Resource::FpUnits => self.fp_units,
+            Resource::LsPorts => self.ls_ports,
+        }
+    }
+
+    /// Mutable count for a given resource.
+    pub(crate) fn get_mut(&mut self, r: Resource) -> &mut u64 {
+        match r {
+            Resource::IntQueue => &mut self.int_queue,
+            Resource::FpQueue => &mut self.fp_queue,
+            Resource::IntRegs => &mut self.int_regs,
+            Resource::FpRegs => &mut self.fp_regs,
+            Resource::IntUnits => &mut self.int_units,
+            Resource::FpUnits => &mut self.fp_units,
+            Resource::LsPorts => &mut self.ls_ports,
+        }
+    }
+
+    /// Percentage of `cycles` on which resource `r` conflicted.
+    pub fn pct(&self, r: Resource, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.get(r) as f64 / cycles as f64
+        }
+    }
+
+    /// The paper's `AllConf` quantity: the sum over all resources of the
+    /// percentage of cycles with a conflict on that resource.
+    pub fn all_conflicts_pct(&self, cycles: u64) -> f64 {
+        Resource::ALL.iter().map(|&r| self.pct(r, cycles)).sum()
+    }
+
+    /// Accumulates another interval's counts.
+    pub fn merge(&mut self, other: &ConflictCounters) {
+        for r in Resource::ALL {
+            *self.get_mut(r) += other.get(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_matches_fields() {
+        let c = ConflictCounters {
+            int_queue: 1,
+            fp_queue: 2,
+            int_regs: 3,
+            fp_regs: 4,
+            int_units: 5,
+            fp_units: 6,
+            ls_ports: 7,
+        };
+        let vals: Vec<u64> = Resource::ALL.iter().map(|&r| c.get(r)).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn percentage_math() {
+        let c = ConflictCounters {
+            fp_queue: 25,
+            ..Default::default()
+        };
+        assert!((c.pct(Resource::FpQueue, 100) - 25.0).abs() < 1e-9);
+        assert_eq!(c.pct(Resource::FpQueue, 0), 0.0);
+    }
+
+    #[test]
+    fn all_conf_sums_percentages() {
+        let c = ConflictCounters {
+            int_queue: 10,
+            fp_units: 30,
+            ..Default::default()
+        };
+        assert!((c.all_conflicts_pct(100) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_all() {
+        let mut a = ConflictCounters {
+            int_units: 1,
+            ..Default::default()
+        };
+        let b = ConflictCounters {
+            int_units: 2,
+            ls_ports: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.int_units, 3);
+        assert_eq!(a.ls_ports, 9);
+    }
+
+    #[test]
+    fn resource_display_is_stable() {
+        let names: Vec<String> = Resource::ALL.iter().map(|r| r.to_string()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "int_queue",
+                "fp_queue",
+                "int_regs",
+                "fp_regs",
+                "int_units",
+                "fp_units",
+                "ls_ports"
+            ]
+        );
+    }
+}

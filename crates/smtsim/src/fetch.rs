@@ -1,0 +1,198 @@
+//! ICOUNT fetch-thread selection.
+//!
+//! The fetch policy is ICOUNT.2.8 (Tullsen et al., ISCA '96): each cycle,
+//! fetch up to 8 instructions from up to 2 threads, giving priority to the
+//! threads with the fewest instructions in the pre-issue stages of the
+//! pipeline (decode, rename, and the instruction queues). ICOUNT
+//! self-balances: threads that clog the queues lose fetch priority, and
+//! threads that move instructions through quickly get more of the front end.
+
+/// A fetch candidate: a context eligible to fetch this cycle.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FetchCandidate {
+    /// Hardware context index.
+    pub ctx: usize,
+    /// Instructions this context has in the pre-issue stages.
+    pub icount: usize,
+    /// Unresolved (in-flight) branches (for BRCOUNT).
+    pub brcount: usize,
+    /// Outstanding data-cache misses (for MISSCOUNT).
+    pub misscount: usize,
+}
+
+/// Orders eligible contexts by the ICOUNT priority (fewest pre-issue
+/// instructions first, context index as the deterministic tie-break).
+///
+/// The returned vector is the *priority order*; the fetch stage walks it,
+/// taking instructions from at most `fetch_threads` contexts that actually
+/// deliver instructions.
+///
+/// ```
+/// use smtsim::fetch::{icount_priority, FetchCandidate};
+/// let order = icount_priority(&[
+///     FetchCandidate { ctx: 0, icount: 9, ..Default::default() },
+///     FetchCandidate { ctx: 1, icount: 2, ..Default::default() },
+///     FetchCandidate { ctx: 2, icount: 2, ..Default::default() },
+/// ]);
+/// assert_eq!(order, vec![1, 2, 0]);
+/// ```
+pub fn icount_priority(candidates: &[FetchCandidate]) -> Vec<usize> {
+    let mut order: Vec<&FetchCandidate> = candidates.iter().collect();
+    order.sort_by_key(|c| (c.icount, c.ctx));
+    order.into_iter().map(|c| c.ctx).collect()
+}
+
+/// Orders eligible contexts round-robin: rotate priority by the cycle count,
+/// ignoring pipeline occupancy.
+///
+/// ```
+/// use smtsim::fetch::{round_robin_priority, FetchCandidate};
+/// let cands = [
+///     FetchCandidate { ctx: 0, icount: 9, ..Default::default() },
+///     FetchCandidate { ctx: 1, icount: 2, ..Default::default() },
+///     FetchCandidate { ctx: 2, icount: 5, ..Default::default() },
+/// ];
+/// assert_eq!(round_robin_priority(&cands, 1), vec![1, 2, 0]);
+/// ```
+pub fn round_robin_priority(candidates: &[FetchCandidate], cycle: u64) -> Vec<usize> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let n = candidates.len();
+    let start = (cycle as usize) % n;
+    (0..n).map(|k| candidates[(start + k) % n].ctx).collect()
+}
+
+/// Orders eligible contexts by unresolved-branch count (BRCOUNT), breaking
+/// ties by ICOUNT then context index.
+pub fn brcount_priority(candidates: &[FetchCandidate]) -> Vec<usize> {
+    let mut order: Vec<&FetchCandidate> = candidates.iter().collect();
+    order.sort_by_key(|c| (c.brcount, c.icount, c.ctx));
+    order.into_iter().map(|c| c.ctx).collect()
+}
+
+/// Orders eligible contexts by outstanding D-cache misses (MISSCOUNT),
+/// breaking ties by ICOUNT then context index.
+pub fn misscount_priority(candidates: &[FetchCandidate]) -> Vec<usize> {
+    let mut order: Vec<&FetchCandidate> = candidates.iter().collect();
+    order.sort_by_key(|c| (c.misscount, c.icount, c.ctx));
+    order.into_iter().map(|c| c.ctx).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowest_icount_first() {
+        let order = icount_priority(&[
+            FetchCandidate {
+                ctx: 0,
+                icount: 5,
+                ..Default::default()
+            },
+            FetchCandidate {
+                ctx: 1,
+                icount: 0,
+                ..Default::default()
+            },
+            FetchCandidate {
+                ctx: 2,
+                icount: 3,
+                ..Default::default()
+            },
+        ]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_context_index() {
+        let order = icount_priority(&[
+            FetchCandidate {
+                ctx: 3,
+                icount: 1,
+                ..Default::default()
+            },
+            FetchCandidate {
+                ctx: 1,
+                icount: 1,
+                ..Default::default()
+            },
+        ]);
+        assert_eq!(order, vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(icount_priority(&[]).is_empty());
+        assert!(round_robin_priority(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn brcount_prefers_fewest_unresolved_branches() {
+        let order = brcount_priority(&[
+            FetchCandidate {
+                ctx: 0,
+                icount: 0,
+                brcount: 3,
+                misscount: 0,
+            },
+            FetchCandidate {
+                ctx: 1,
+                icount: 9,
+                brcount: 0,
+                misscount: 0,
+            },
+        ]);
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn misscount_prefers_fewest_outstanding_misses() {
+        let order = misscount_priority(&[
+            FetchCandidate {
+                ctx: 0,
+                icount: 0,
+                brcount: 0,
+                misscount: 2,
+            },
+            FetchCandidate {
+                ctx: 1,
+                icount: 5,
+                brcount: 0,
+                misscount: 0,
+            },
+            FetchCandidate {
+                ctx: 2,
+                icount: 1,
+                brcount: 0,
+                misscount: 0,
+            },
+        ]);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_rotates_with_cycle() {
+        let cands = [
+            FetchCandidate {
+                ctx: 0,
+                icount: 0,
+                ..Default::default()
+            },
+            FetchCandidate {
+                ctx: 1,
+                icount: 0,
+                ..Default::default()
+            },
+            FetchCandidate {
+                ctx: 2,
+                icount: 0,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(round_robin_priority(&cands, 0), vec![0, 1, 2]);
+        assert_eq!(round_robin_priority(&cands, 1), vec![1, 2, 0]);
+        assert_eq!(round_robin_priority(&cands, 5), vec![2, 0, 1]);
+    }
+}

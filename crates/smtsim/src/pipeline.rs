@@ -1,0 +1,1151 @@
+//! The per-cycle out-of-order SMT pipeline engine.
+//!
+//! Stage order within a cycle (oldest work first, so producers wake
+//! dependents with no artificial bubbles):
+//!
+//! 1. **Complete** — instructions whose latency expires this cycle commit,
+//!    free their renaming registers, and (for branches) redirect the fetcher.
+//! 2. **Issue** — ready instructions in the shared integer/FP queues are sent
+//!    to functional units, oldest first, up to the issue width. A ready
+//!    instruction that finds its unit pool exhausted records a conflict.
+//! 3. **Dispatch** — decoded instructions claim a renaming register and a
+//!    queue slot. A full queue or empty register pool records a conflict and
+//!    stalls that thread (head-of-line).
+//! 4. **Fetch** — ICOUNT.2.8 selects threads; instructions are pulled from
+//!    their [`InstructionSource`]s through the I-cache/I-TLB and the shared
+//!    branch predictor.
+//!
+//! The engine does not fetch wrong paths. A mispredicted branch instead halts
+//! its thread's fetch from prediction until resolution plus the misprediction
+//! penalty — the same front-end bubble, without needing to rewind a source.
+
+use crate::branch::BranchPredictor;
+use crate::cache::CacheHierarchy;
+use crate::config::FetchPolicy;
+use crate::config::MachineConfig;
+use crate::context::{DepRing, NOT_DONE, RING};
+use crate::counters::{ConflictCounters, Resource};
+use crate::fetch::{
+    brcount_priority, icount_priority, misscount_priority, round_robin_priority, FetchCandidate,
+};
+use crate::fu::{FuKind, FuPools};
+use crate::queue::{IssueQueue, QEntry, NO_DEP};
+use crate::rename::RegPool;
+use crate::stats::{ThreadStats, TimesliceStats};
+use crate::tlb::Tlb;
+use crate::trace::{Fetch, Instr, InstrClass, InstructionSource};
+use std::collections::VecDeque;
+
+/// Per-context decode-buffer capacity.
+const DECODE_CAP: usize = 16;
+
+#[derive(Clone)]
+struct ContextState {
+    /// Fetched, decoded instructions awaiting dispatch: `(eligible_at, instr)`.
+    decode: VecDeque<(u64, Instr)>,
+    /// An instruction pulled from the source but not yet accepted (its cache
+    /// line missed); retried first when fetch resumes.
+    pending: Option<Instr>,
+    /// Fetch is stalled until this cycle (I-cache miss / mispredict redirect).
+    fetch_stall_until: u64,
+    /// A mispredicted branch is in flight; fetch halted until it resolves.
+    branch_stall: bool,
+    /// Source reported `Finished`.
+    finished: bool,
+    /// Instructions in pre-issue stages (decode + queues): the ICOUNT value.
+    preissue: usize,
+    /// Instructions fetched but not completed (window occupancy).
+    inflight: usize,
+    /// Branches fetched but not yet resolved (for BRCOUNT).
+    unresolved_branches: usize,
+    /// Loads in flight that missed the L1 D-cache (for MISSCOUNT).
+    outstanding_misses: usize,
+    /// Next dynamic sequence number (assigned at dispatch).
+    seq: u64,
+    /// Dependence bookkeeping for recent sequence numbers.
+    ring: DepRing,
+    /// Last I-cache line fetched (sequential fetch within a line is free).
+    last_line: u64,
+    stats: ThreadStats,
+}
+
+impl ContextState {
+    fn new() -> Self {
+        ContextState {
+            decode: VecDeque::with_capacity(DECODE_CAP),
+            pending: None,
+            fetch_stall_until: 0,
+            branch_stall: false,
+            finished: false,
+            preissue: 0,
+            inflight: 0,
+            unresolved_branches: 0,
+            outstanding_misses: 0,
+            seq: 0,
+            ring: DepRing::new(),
+            last_line: u64::MAX,
+            stats: ThreadStats::default(),
+        }
+    }
+
+    /// Records that `seq` will complete at `cycle`.
+    #[inline]
+    fn set_done(&mut self, seq: u64, cycle: u64) {
+        self.ring.set_done(seq, cycle);
+    }
+
+    /// Marks `seq` dispatched-but-not-issued.
+    #[inline]
+    fn set_pending(&mut self, seq: u64) {
+        self.ring.set_pending(seq);
+    }
+
+    /// The cycle at which producer `seq` completes ([`NOT_DONE`] if it has not
+    /// issued). Sequence numbers older than the ring window are long complete.
+    #[inline]
+    fn done_at(&self, seq: u64) -> u64 {
+        self.ring.done_at(seq)
+    }
+}
+
+#[derive(Copy, Clone, Debug)]
+struct CompleteEvent {
+    ctx: u8,
+    class: InstrClass,
+    mispredicted: bool,
+    /// The instruction was a load that missed the L1 D-cache.
+    dcache_miss: bool,
+}
+
+/// A ready-instruction issue decision collected during the queue scan.
+struct IssuePick {
+    pos: usize,
+    entry: QEntry,
+}
+
+/// The cycle-level engine. Owns all microarchitectural state; the persistent
+/// structures (caches, TLBs, branch-predictor tables) survive across
+/// timeslices, so the memory system warms up across context switches.
+pub struct Engine {
+    cfg: MachineConfig,
+    caches: CacheHierarchy,
+    itlb: Tlb,
+    dtlb: Tlb,
+    bp: BranchPredictor,
+    int_q: IssueQueue,
+    fp_q: IssueQueue,
+    int_regs: RegPool,
+    fp_regs: RegPool,
+    fu: FuPools,
+    wheel: Vec<Vec<CompleteEvent>>,
+    contexts: Vec<ContextState>,
+    rr_cursor: usize,
+    now: u64,
+    conflicts: ConflictCounters,
+    /// Per-cycle conflict flags, indexed like [`Resource::ALL`].
+    cycle_flags: [bool; 7],
+}
+
+impl Engine {
+    /// Builds an engine for the given machine.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MachineConfig::validate`] or if the
+    /// per-thread in-flight cap exceeds the dependence-ring size.
+    pub fn new(cfg: MachineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid machine configuration: {e}");
+        }
+        assert!(
+            cfg.max_inflight_per_thread <= RING,
+            "per-thread window larger than dependence ring"
+        );
+        let wheel_len = (cfg.max_latency() + cfg.lat.fp_div_occupancy + 2) as usize;
+        Engine {
+            caches: CacheHierarchy::new(cfg.icache, cfg.dcache, cfg.l2, cfg.mem_latency),
+            itlb: Tlb::new(cfg.itlb_entries, cfg.page_bytes, cfg.tlb_miss_penalty),
+            dtlb: Tlb::new(cfg.dtlb_entries, cfg.page_bytes, cfg.tlb_miss_penalty),
+            bp: BranchPredictor::new(cfg.branch, cfg.contexts),
+            int_q: IssueQueue::new(cfg.int_queue),
+            fp_q: IssueQueue::new(cfg.fp_queue),
+            int_regs: RegPool::new(cfg.int_regs),
+            fp_regs: RegPool::new(cfg.fp_regs),
+            fu: FuPools::new(cfg.int_units, cfg.fp_units, cfg.ls_ports),
+            wheel: vec![Vec::new(); wheel_len],
+            contexts: Vec::new(),
+            rr_cursor: 0,
+            now: 0,
+            conflicts: ConflictCounters::default(),
+            cycle_flags: [false; 7],
+            cfg,
+        }
+    }
+
+    /// The configuration this engine models.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Invalidates caches and TLBs (cold-start experiments).
+    pub fn flush_memory_state(&mut self) {
+        self.caches.flush();
+        self.itlb.flush();
+        self.dtlb.flush();
+    }
+
+    /// Runs one timeslice: `sources[i]` executes on hardware context `i` for
+    /// `cycles` cycles. Pipeline state is cold at entry (a context switch just
+    /// happened); caches, TLBs, and branch-predictor tables stay warm from
+    /// previous timeslices.
+    ///
+    /// # Panics
+    /// Panics if more sources are supplied than the machine has contexts, or
+    /// if no sources are supplied.
+    pub fn run_timeslice(
+        &mut self,
+        sources: &mut [&mut dyn InstructionSource],
+        cycles: u64,
+    ) -> TimesliceStats {
+        assert!(
+            !sources.is_empty(),
+            "run_timeslice requires at least one thread"
+        );
+        assert!(
+            sources.len() <= self.cfg.contexts,
+            "{} threads but only {} hardware contexts",
+            sources.len(),
+            self.cfg.contexts
+        );
+
+        // Cold pipeline at timeslice entry.
+        self.contexts.clear();
+        for (i, s) in sources.iter().enumerate() {
+            let mut ctx = ContextState::new();
+            ctx.stats.stream = s.id();
+            self.contexts.push(ctx);
+            self.bp.reset_history(i);
+        }
+        self.int_q.drain_all();
+        self.fp_q.drain_all();
+        self.int_regs.reset();
+        self.fp_regs.reset();
+        self.fu.reset();
+        for slot in &mut self.wheel {
+            slot.clear();
+        }
+        self.now = 0;
+        self.conflicts = ConflictCounters::default();
+
+        for _ in 0..cycles {
+            self.cycle_flags = [false; 7];
+            self.complete_stage();
+            self.issue_stage();
+            self.dispatch_stage();
+            self.fetch_stage(sources);
+            for (i, &flag) in self.cycle_flags.iter().enumerate() {
+                if flag {
+                    *self.conflicts.get_mut(Resource::ALL[i]) += 1;
+                }
+            }
+            self.now += 1;
+            self.rr_cursor = (self.rr_cursor + 1) % self.contexts.len();
+        }
+
+        TimesliceStats {
+            cycles,
+            threads: self.contexts.iter().map(|c| c.stats.clone()).collect(),
+            conflicts: self.conflicts,
+            cache: self.caches.take_stats(),
+            dtlb: self.dtlb.take_stats(),
+            itlb: self.itlb.take_stats(),
+            branches: self.bp.take_stats(),
+        }
+    }
+
+    #[inline]
+    fn flag(&mut self, r: Resource) {
+        let idx = Resource::ALL
+            .iter()
+            .position(|&x| x == r)
+            .expect("resource in ALL");
+        self.cycle_flags[idx] = true;
+    }
+
+    fn complete_stage(&mut self) {
+        let slot = (self.now % self.wheel.len() as u64) as usize;
+        let events = std::mem::take(&mut self.wheel[slot]);
+        for ev in events {
+            let penalty_restart = self.now + 1 + self.bp.mispredict_penalty();
+            let ctx = &mut self.contexts[ev.ctx as usize];
+            ctx.inflight -= 1;
+            ctx.stats.committed += 1;
+            let class_idx = InstrClass::ALL
+                .iter()
+                .position(|&c| c == ev.class)
+                .expect("class in ALL");
+            ctx.stats.class_counts[class_idx] += 1;
+            if ev.class == InstrClass::Branch {
+                ctx.unresolved_branches = ctx.unresolved_branches.saturating_sub(1);
+                if ev.mispredicted {
+                    ctx.branch_stall = false;
+                    ctx.fetch_stall_until = ctx.fetch_stall_until.max(penalty_restart);
+                }
+            }
+            if ev.dcache_miss {
+                ctx.outstanding_misses = ctx.outstanding_misses.saturating_sub(1);
+            }
+            // Free the renaming register this instruction held.
+            match ev.class {
+                c if c.is_fp() => self.fp_regs.release(),
+                InstrClass::Store | InstrClass::Branch => {}
+                _ => self.int_regs.release(),
+            }
+        }
+    }
+
+    /// Scans one queue age-first, claiming functional units for ready
+    /// entries. Returns the picks; sets conflict flags for units that turned
+    /// ready instructions away.
+    fn scan_queue(
+        q: &IssueQueue,
+        contexts: &[ContextState],
+        fu: &mut FuPools,
+        now: u64,
+        fp_div_occupancy: u64,
+        budget: &mut usize,
+        unit_conflicts: &mut [bool; 3],
+    ) -> Vec<IssuePick> {
+        let mut picks = Vec::new();
+        for (pos, e) in q.entries().iter().enumerate() {
+            if *budget == 0 {
+                break;
+            }
+            let ready = e.dep_seq == NO_DEP || {
+                let done = contexts[e.ctx as usize].done_at(e.dep_seq);
+                done != NOT_DONE && done <= now
+            };
+            if !ready {
+                continue;
+            }
+            let occupancy = if e.class == InstrClass::FpDiv {
+                fp_div_occupancy
+            } else {
+                1
+            };
+            if !fu.try_issue(e.class, now, occupancy) {
+                let k = match FuKind::for_class(e.class) {
+                    FuKind::Int => 0,
+                    FuKind::Fp => 1,
+                    FuKind::Ls => 2,
+                };
+                unit_conflicts[k] = true;
+                continue;
+            }
+            *budget -= 1;
+            picks.push(IssuePick { pos, entry: *e });
+        }
+        picks
+    }
+
+    fn issue_stage(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        let mut unit_conflicts = [false; 3];
+        let occ = self.cfg.lat.fp_div_occupancy;
+
+        let int_picks = Self::scan_queue(
+            &self.int_q,
+            &self.contexts,
+            &mut self.fu,
+            self.now,
+            occ,
+            &mut budget,
+            &mut unit_conflicts,
+        );
+        let positions: Vec<usize> = int_picks.iter().map(|p| p.pos).collect();
+        self.int_q.remove_issued(&positions);
+        for p in int_picks {
+            self.start_execution(p.entry);
+        }
+
+        let fp_picks = Self::scan_queue(
+            &self.fp_q,
+            &self.contexts,
+            &mut self.fu,
+            self.now,
+            occ,
+            &mut budget,
+            &mut unit_conflicts,
+        );
+        let positions: Vec<usize> = fp_picks.iter().map(|p| p.pos).collect();
+        self.fp_q.remove_issued(&positions);
+        for p in fp_picks {
+            self.start_execution(p.entry);
+        }
+
+        if unit_conflicts[0] {
+            self.flag(Resource::IntUnits);
+        }
+        if unit_conflicts[1] {
+            self.flag(Resource::FpUnits);
+        }
+        if unit_conflicts[2] {
+            self.flag(Resource::LsPorts);
+        }
+    }
+
+    /// Computes the latency of an issued instruction (performing cache/TLB
+    /// accesses for memory operations) and schedules its completion.
+    fn start_execution(&mut self, e: QEntry) {
+        let lat = self.cfg.lat;
+        let mut dcache_miss = false;
+        let latency = match e.class {
+            InstrClass::IntAlu => lat.int_alu,
+            InstrClass::IntMul => lat.int_mul,
+            InstrClass::FpAdd => lat.fp_add,
+            InstrClass::FpMul => lat.fp_mul,
+            InstrClass::FpDiv => lat.fp_div,
+            InstrClass::Branch => lat.branch,
+            InstrClass::Load => {
+                let l = self.dtlb.access(e.addr) + self.caches.access_data(e.addr);
+                dcache_miss = l > self.cfg.dcache.hit_latency;
+                let t = &mut self.contexts[e.ctx as usize].stats;
+                t.dl1_refs += 1;
+                t.dl1_misses += u64::from(dcache_miss);
+                l
+            }
+            InstrClass::Store => {
+                // Stores retire through the write buffer: the thread does not
+                // wait on the cache, but the line is still brought in.
+                let _ = self.dtlb.access(e.addr);
+                let hit = self.caches.access_data(e.addr) <= self.cfg.dcache.hit_latency;
+                let t = &mut self.contexts[e.ctx as usize].stats;
+                t.dl1_refs += 1;
+                t.dl1_misses += u64::from(!hit);
+                lat.store
+            }
+        };
+        let done = self.now + latency.max(1);
+        let ctx = &mut self.contexts[e.ctx as usize];
+        ctx.preissue -= 1;
+        if dcache_miss {
+            ctx.outstanding_misses += 1;
+        }
+        ctx.set_done(e.seq, done);
+        let slot = (done % self.wheel.len() as u64) as usize;
+        self.wheel[slot].push(CompleteEvent {
+            ctx: e.ctx,
+            class: e.class,
+            mispredicted: e.mispredicted,
+            dcache_miss,
+        });
+    }
+
+    fn dispatch_stage(&mut self) {
+        let n = self.contexts.len();
+        let mut budget = self.cfg.dispatch_width;
+        'ctx_loop: for k in 0..n {
+            let ci = (self.rr_cursor + k) % n;
+            // Head-of-line dispatch per context.
+            loop {
+                if budget == 0 {
+                    break 'ctx_loop;
+                }
+                let Some(&(eligible_at, instr)) = self.contexts[ci].decode.front() else {
+                    break;
+                };
+                if eligible_at > self.now {
+                    break;
+                }
+                let is_fp = instr.class.is_fp();
+                let q_full = if is_fp {
+                    self.fp_q.is_full()
+                } else {
+                    self.int_q.is_full()
+                };
+                if q_full {
+                    self.flag(if is_fp {
+                        Resource::FpQueue
+                    } else {
+                        Resource::IntQueue
+                    });
+                    break;
+                }
+                // Stores and branches have no destination register.
+                let needs_reg = !matches!(instr.class, InstrClass::Store | InstrClass::Branch);
+                if needs_reg {
+                    let ok = if is_fp {
+                        self.fp_regs.try_alloc()
+                    } else {
+                        self.int_regs.try_alloc()
+                    };
+                    if !ok {
+                        self.flag(if is_fp {
+                            Resource::FpRegs
+                        } else {
+                            Resource::IntRegs
+                        });
+                        break;
+                    }
+                }
+                let ctx = &mut self.contexts[ci];
+                ctx.decode.pop_front();
+                let seq = ctx.seq;
+                ctx.seq += 1;
+                let dep_seq = if instr.dep_dist == 0 || u64::from(instr.dep_dist) > seq {
+                    NO_DEP
+                } else {
+                    seq - u64::from(instr.dep_dist)
+                };
+                ctx.set_pending(seq);
+                let entry = QEntry {
+                    ctx: ci as u8,
+                    class: instr.class,
+                    dep_seq,
+                    addr: instr.addr,
+                    seq,
+                    // For branches, `taken` was repurposed at fetch to carry
+                    // the misprediction flag.
+                    mispredicted: instr.class == InstrClass::Branch && instr.taken,
+                };
+                if is_fp {
+                    self.fp_q.push(entry);
+                } else {
+                    self.int_q.push(entry);
+                }
+                budget -= 1;
+            }
+        }
+    }
+
+    fn fetch_stage(&mut self, sources: &mut [&mut dyn InstructionSource]) {
+        let mut cands: Vec<FetchCandidate> = Vec::with_capacity(self.contexts.len());
+        for (i, c) in self.contexts.iter().enumerate() {
+            let eligible = !c.finished
+                && !c.branch_stall
+                && c.fetch_stall_until <= self.now
+                && c.inflight < self.cfg.max_inflight_per_thread
+                && c.decode.len() < DECODE_CAP;
+            if eligible {
+                cands.push(FetchCandidate {
+                    ctx: i,
+                    icount: c.preissue,
+                    brcount: c.unresolved_branches,
+                    misscount: c.outstanding_misses,
+                });
+            }
+        }
+        let order = match self.cfg.fetch_policy {
+            FetchPolicy::Icount => icount_priority(&cands),
+            FetchPolicy::RoundRobin => round_robin_priority(&cands, self.now),
+            FetchPolicy::Brcount => brcount_priority(&cands),
+            FetchPolicy::Misscount => misscount_priority(&cands),
+        };
+        let mut budget = self.cfg.fetch_width;
+        let mut threads_used = 0;
+        for ci in order {
+            if budget == 0 || threads_used >= self.cfg.fetch_threads {
+                break;
+            }
+            if self.fetch_from(ci, &mut *sources[ci], &mut budget) > 0 {
+                threads_used += 1;
+            }
+        }
+    }
+
+    /// Fetches up to `budget` instructions from context `ci`; returns how many
+    /// were fetched.
+    fn fetch_from(
+        &mut self,
+        ci: usize,
+        source: &mut dyn InstructionSource,
+        budget: &mut usize,
+    ) -> usize {
+        let mut fetched = 0;
+        let line_bytes = self.caches.il1_line_bytes();
+        while *budget > 0 {
+            {
+                let ctx = &self.contexts[ci];
+                if ctx.inflight >= self.cfg.max_inflight_per_thread
+                    || ctx.decode.len() >= DECODE_CAP
+                {
+                    break;
+                }
+            }
+            let mut instr = match self.contexts[ci].pending.take() {
+                Some(i) => i,
+                None => match source.next_instr() {
+                    Fetch::Instr(i) => i,
+                    Fetch::Blocked => {
+                        self.contexts[ci].stats.blocked_cycles += 1;
+                        break;
+                    }
+                    Fetch::Finished => {
+                        self.contexts[ci].finished = true;
+                        break;
+                    }
+                },
+            };
+            // I-cache / I-TLB access on line crossing.
+            let line = instr.pc / line_bytes;
+            if line != self.contexts[ci].last_line {
+                let ic_lat = self.caches.access_instr(instr.pc);
+                let lat = self.itlb.access(instr.pc) + ic_lat;
+                let ctx = &mut self.contexts[ci];
+                ctx.stats.il1_refs += 1;
+                ctx.stats.il1_misses += u64::from(ic_lat > 0);
+                ctx.last_line = line;
+                if lat > 0 {
+                    ctx.pending = Some(instr);
+                    ctx.fetch_stall_until = self.now + lat;
+                    break;
+                }
+            }
+            // Branch prediction happens at fetch.
+            let mut stop_after = false;
+            if instr.class == InstrClass::Branch {
+                let arch_taken = instr.taken;
+                let mispredicted = self.bp.predict_and_update(ci, instr.pc, arch_taken);
+                // Repurpose `taken` to carry the misprediction flag onward.
+                instr.taken = mispredicted;
+                self.contexts[ci].unresolved_branches += 1;
+                if mispredicted {
+                    self.contexts[ci].branch_stall = true;
+                    stop_after = true;
+                } else if arch_taken {
+                    // Correctly-predicted taken branch: the fetch
+                    // discontinuity ends this thread's fetching this cycle.
+                    stop_after = true;
+                }
+            }
+            let ctx = &mut self.contexts[ci];
+            ctx.decode
+                .push_back((self.now + self.cfg.frontend_delay, instr));
+            ctx.stats.fetched += 1;
+            ctx.preissue += 1;
+            ctx.inflight += 1;
+            fetched += 1;
+            *budget -= 1;
+            if stop_after {
+                break;
+            }
+        }
+        fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::StreamId;
+
+    /// Independent int ALU ops, sequential PCs.
+    struct AluStream {
+        pc: u64,
+        id: StreamId,
+    }
+    impl InstructionSource for AluStream {
+        fn next_instr(&mut self) -> Fetch {
+            self.pc = (self.pc + 4) % 4096;
+            Fetch::Instr(Instr::int_alu(self.id.tag_addr(self.pc), 0))
+        }
+        fn id(&self) -> StreamId {
+            self.id
+        }
+    }
+
+    /// Fully serial chain: every instruction depends on the previous one.
+    struct SerialStream {
+        pc: u64,
+        id: StreamId,
+    }
+    impl InstructionSource for SerialStream {
+        fn next_instr(&mut self) -> Fetch {
+            self.pc = (self.pc + 4) % 4096;
+            Fetch::Instr(Instr::int_alu(self.id.tag_addr(self.pc), 1))
+        }
+        fn id(&self) -> StreamId {
+            self.id
+        }
+    }
+
+    /// Independent FP divides — long-latency, unit-hogging FP work.
+    struct FpDivStream {
+        pc: u64,
+        id: StreamId,
+    }
+    impl InstructionSource for FpDivStream {
+        fn next_instr(&mut self) -> Fetch {
+            self.pc = (self.pc + 4) % 4096;
+            Fetch::Instr(Instr::fp(InstrClass::FpDiv, self.id.tag_addr(self.pc), 0))
+        }
+        fn id(&self) -> StreamId {
+            self.id
+        }
+    }
+
+    fn engine(contexts: usize) -> Engine {
+        Engine::new(MachineConfig::alpha21264_like(contexts))
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let mut e = engine(1);
+        let mut s = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let _warmup = e.run_timeslice(&mut [&mut s], 10_000);
+        let stats = e.run_timeslice(&mut [&mut s], 5_000);
+        let ipc = stats.total_ipc();
+        assert!(
+            ipc > 3.0,
+            "independent ALU stream should exceed IPC 3, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn serial_chain_is_ipc_limited() {
+        let mut e = engine(1);
+        let mut s = SerialStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let _warmup = e.run_timeslice(&mut [&mut s], 10_000);
+        let stats = e.run_timeslice(&mut [&mut s], 5_000);
+        let ipc = stats.total_ipc();
+        assert!(
+            ipc < 1.3,
+            "serial dependence chain must bound IPC near 1, got {ipc}"
+        );
+        assert!(
+            ipc > 0.5,
+            "serial chain should still make progress, got {ipc}"
+        );
+    }
+
+    #[test]
+    fn two_threads_beat_one_serial_thread() {
+        let mut e = engine(2);
+        let mut a = SerialStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let _ = e.run_timeslice(&mut [&mut a], 10_000);
+        let solo = e.run_timeslice(&mut [&mut a], 5_000).total_ipc();
+
+        let mut e = engine(2);
+        let mut a = SerialStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = SerialStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let _ = e.run_timeslice(&mut [&mut a, &mut b], 10_000);
+        let duo = e.run_timeslice(&mut [&mut a, &mut b], 5_000).total_ipc();
+        assert!(
+            duo > 1.5 * solo,
+            "SMT should nearly double serial-thread throughput: {solo} -> {duo}"
+        );
+    }
+
+    #[test]
+    fn dependent_never_completes_before_producer() {
+        // A serial chain through a long-latency op: the dependent of an FpDiv
+        // cannot commit until the div's latency has elapsed.
+        struct DivChain {
+            pc: u64,
+            n: u32,
+        }
+        impl InstructionSource for DivChain {
+            fn next_instr(&mut self) -> Fetch {
+                if self.n == 0 {
+                    return Fetch::Finished;
+                }
+                self.n -= 1;
+                self.pc = (self.pc + 4) % 4096;
+                Fetch::Instr(Instr {
+                    class: InstrClass::FpDiv,
+                    pc: self.pc,
+                    dep_dist: 1,
+                    addr: 0,
+                    taken: false,
+                })
+            }
+            fn id(&self) -> StreamId {
+                StreamId(1)
+            }
+        }
+        let mut e = engine(1);
+        let mut s = DivChain { pc: 0, n: 50 };
+        let stats = e.run_timeslice(&mut [&mut s], 5_000);
+        let t = stats.thread(StreamId(1)).unwrap();
+        assert_eq!(t.committed, 50);
+        // 50 chained 12-cycle divides need at least 600 cycles; the committed
+        // IPC must reflect that serialization.
+        assert!(
+            stats.total_ipc() < 0.1,
+            "chained divides must be slow: {}",
+            stats.total_ipc()
+        );
+    }
+
+    #[test]
+    fn fp_div_threads_conflict_on_fp_units() {
+        let mut e = engine(4);
+        let mut t1 = FpDivStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut t2 = FpDivStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let mut t3 = FpDivStream {
+            pc: 0,
+            id: StreamId(3),
+        };
+        let mut t4 = FpDivStream {
+            pc: 0,
+            id: StreamId(4),
+        };
+        let stats = e.run_timeslice(&mut [&mut t1, &mut t2, &mut t3, &mut t4], 5_000);
+        assert!(
+            stats.conflicts.fp_units + stats.conflicts.fp_queue > 100,
+            "four FP-div threads must conflict on FP resources: {:?}",
+            stats.conflicts
+        );
+    }
+
+    #[test]
+    fn mixed_int_fp_conflicts_less_than_pure_fp() {
+        let mut e = engine(2);
+        let mut t1 = FpDivStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut t2 = FpDivStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let _ = e.run_timeslice(&mut [&mut t1, &mut t2], 15_000);
+        let fp_pair = e.run_timeslice(&mut [&mut t1, &mut t2], 5_000);
+
+        let mut e = engine(2);
+        let mut t1 = FpDivStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut t3 = AluStream {
+            pc: 0,
+            id: StreamId(3),
+        };
+        let _ = e.run_timeslice(&mut [&mut t1, &mut t3], 15_000);
+        let mixed = e.run_timeslice(&mut [&mut t1, &mut t3], 5_000);
+
+        assert!(
+            mixed.conflicts.fp_queue < fp_pair.conflicts.fp_queue,
+            "a diverse coschedule must conflict less on the FP queue: {:?} vs {:?}",
+            mixed.conflicts,
+            fp_pair.conflicts
+        );
+        assert!(
+            mixed.total_ipc() > fp_pair.total_ipc(),
+            "diversity should raise throughput: {} vs {}",
+            mixed.total_ipc(),
+            fp_pair.total_ipc()
+        );
+    }
+
+    #[test]
+    fn committed_never_exceeds_fetched() {
+        let mut e = engine(2);
+        let mut a = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = SerialStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let stats = e.run_timeslice(&mut [&mut a, &mut b], 3_000);
+        for t in &stats.threads {
+            assert!(t.committed <= t.fetched, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_source_makes_no_progress() {
+        struct Blocked;
+        impl InstructionSource for Blocked {
+            fn next_instr(&mut self) -> Fetch {
+                Fetch::Blocked
+            }
+            fn id(&self) -> StreamId {
+                StreamId(9)
+            }
+        }
+        let mut e = engine(2);
+        let mut a = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = Blocked;
+        let stats = e.run_timeslice(&mut [&mut a, &mut b], 2_000);
+        assert_eq!(stats.thread(StreamId(9)).unwrap().committed, 0);
+        assert!(stats.thread(StreamId(9)).unwrap().blocked_cycles > 0);
+        assert!(stats.thread(StreamId(1)).unwrap().committed > 0);
+    }
+
+    #[test]
+    fn finished_source_idles() {
+        struct Finite {
+            left: u32,
+            pc: u64,
+        }
+        impl InstructionSource for Finite {
+            fn next_instr(&mut self) -> Fetch {
+                if self.left == 0 {
+                    return Fetch::Finished;
+                }
+                self.left -= 1;
+                self.pc = (self.pc + 4) % 4096;
+                Fetch::Instr(Instr::int_alu(self.pc, 0))
+            }
+            fn id(&self) -> StreamId {
+                StreamId(3)
+            }
+        }
+        let mut e = engine(1);
+        let mut s = Finite { left: 100, pc: 0 };
+        let stats = e.run_timeslice(&mut [&mut s], 10_000);
+        assert_eq!(stats.thread(StreamId(3)).unwrap().committed, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "hardware contexts")]
+    fn too_many_threads_panics() {
+        let mut e = engine(1);
+        let mut a = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = AluStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        e.run_timeslice(&mut [&mut a, &mut b], 10);
+    }
+
+    #[test]
+    fn per_thread_cache_stats_sum_to_global() {
+        let mut e = engine(2);
+        let mut a = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = SerialStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let stats = e.run_timeslice(&mut [&mut a, &mut b], 4_000);
+        let per_thread_il1: u64 = stats.threads.iter().map(|t| t.il1_refs).sum();
+        assert_eq!(per_thread_il1, stats.cache.il1_refs);
+        let per_thread_dl1: u64 = stats.threads.iter().map(|t| t.dl1_refs).sum();
+        assert_eq!(per_thread_dl1, stats.cache.dl1_refs);
+        let per_thread_dl1m: u64 = stats.threads.iter().map(|t| t.dl1_misses).sum();
+        assert_eq!(per_thread_dl1m, stats.cache.dl1_misses);
+    }
+
+    #[test]
+    fn caches_stay_warm_across_timeslices() {
+        // A small load working set: the first timeslice takes the misses, the
+        // second reuses the lines.
+        struct LoadLoop {
+            i: u64,
+            id: StreamId,
+        }
+        impl InstructionSource for LoadLoop {
+            fn next_instr(&mut self) -> Fetch {
+                self.i += 1;
+                let addr = self.id.tag_addr((self.i * 64) % 4096);
+                Fetch::Instr(Instr::load(self.id.tag_addr(64), addr, 0))
+            }
+            fn id(&self) -> StreamId {
+                self.id
+            }
+        }
+        let mut e = engine(1);
+        let mut s = LoadLoop {
+            i: 0,
+            id: StreamId(5),
+        };
+        let first = e.run_timeslice(&mut [&mut s], 3_000);
+        let second = e.run_timeslice(&mut [&mut s], 3_000);
+        assert!(
+            second.cache.dl1_misses < first.cache.dl1_misses,
+            "second slice should reuse warm lines: {} -> {}",
+            first.cache.dl1_misses,
+            second.cache.dl1_misses
+        );
+    }
+
+    #[test]
+    fn icount_beats_round_robin_on_mixed_threads() {
+        // A fast thread plus a slow serial thread: ICOUNT keeps the fast
+        // thread fed, round-robin wastes fetch slots on the clogged thread.
+        fn total_ipc(policy: FetchPolicy) -> f64 {
+            let mut cfg = MachineConfig::alpha21264_like(2);
+            cfg.fetch_policy = policy;
+            let mut e = Engine::new(cfg);
+            let mut fast = AluStream {
+                pc: 0,
+                id: StreamId(1),
+            };
+            let mut slow = SerialStream {
+                pc: 0,
+                id: StreamId(2),
+            };
+            let _ = e.run_timeslice(&mut [&mut fast, &mut slow], 10_000);
+            e.run_timeslice(&mut [&mut fast, &mut slow], 10_000)
+                .total_ipc()
+        }
+        let icount = total_ipc(FetchPolicy::Icount);
+        let rr = total_ipc(FetchPolicy::RoundRobin);
+        assert!(
+            icount >= rr,
+            "ICOUNT should not lose to round-robin: {icount} vs {rr}"
+        );
+    }
+
+    #[test]
+    fn rename_register_exhaustion_counts_conflicts() {
+        // Shrink the FP renaming pool so two FP-heavy threads exhaust it.
+        let mut cfg = MachineConfig::alpha21264_like(2);
+        cfg.fp_regs = 4;
+        let mut e = Engine::new(cfg);
+        let mut a = FpDivStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut b = FpDivStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let stats = e.run_timeslice(&mut [&mut a, &mut b], 5_000);
+        assert!(
+            stats.conflicts.fp_regs > 0,
+            "a 4-entry FP rename pool must conflict: {:?}",
+            stats.conflicts
+        );
+    }
+
+    #[test]
+    fn int_queue_exhaustion_counts_conflicts() {
+        // A tiny integer queue forces dispatch rejections even for one thread.
+        let mut cfg = MachineConfig::alpha21264_like(1);
+        cfg.int_queue = 2;
+        let mut e = Engine::new(cfg);
+        let mut a = SerialStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let _ = e.run_timeslice(&mut [&mut a], 10_000);
+        let stats = e.run_timeslice(&mut [&mut a], 5_000);
+        assert!(
+            stats.conflicts.int_queue > 0,
+            "a 2-entry int queue must reject dispatches: {:?}",
+            stats.conflicts
+        );
+    }
+
+    #[test]
+    fn conflict_counts_never_exceed_cycles() {
+        let mut e = engine(4);
+        let mut t1 = FpDivStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let mut t2 = FpDivStream {
+            pc: 0,
+            id: StreamId(2),
+        };
+        let mut t3 = SerialStream {
+            pc: 0,
+            id: StreamId(3),
+        };
+        let mut t4 = AluStream {
+            pc: 0,
+            id: StreamId(4),
+        };
+        let stats = e.run_timeslice(&mut [&mut t1, &mut t2, &mut t3, &mut t4], 3_000);
+        for r in crate::counters::Resource::ALL {
+            assert!(
+                stats.conflicts.get(r) <= 3_000,
+                "{r}: {:?}",
+                stats.conflicts
+            );
+        }
+    }
+
+    #[test]
+    fn mispredicted_branches_slow_a_thread_down() {
+        // Branch outcomes from a pseudo-random generator (unpredictable)
+        // versus always-taken (learnable).
+        struct BranchyStream {
+            pc: u64,
+            state: u64,
+            random: bool,
+        }
+        impl InstructionSource for BranchyStream {
+            fn next_instr(&mut self) -> Fetch {
+                self.pc += 4;
+                if self.pc.is_multiple_of(16) {
+                    let taken = if self.random {
+                        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (self.state >> 33) & 1 == 1
+                    } else {
+                        true
+                    };
+                    Fetch::Instr(Instr::branch(self.pc % 4096, taken))
+                } else {
+                    Fetch::Instr(Instr::int_alu(self.pc % 4096, 0))
+                }
+            }
+            fn id(&self) -> StreamId {
+                StreamId(1)
+            }
+        }
+        let mut e = engine(1);
+        let mut predictable = BranchyStream {
+            pc: 0,
+            state: 1,
+            random: false,
+        };
+        let _ = e.run_timeslice(&mut [&mut predictable], 10_000);
+        let p = e.run_timeslice(&mut [&mut predictable], 10_000);
+
+        let mut e = engine(1);
+        let mut random = BranchyStream {
+            pc: 0,
+            state: 1,
+            random: true,
+        };
+        let _ = e.run_timeslice(&mut [&mut random], 10_000);
+        let r = e.run_timeslice(&mut [&mut random], 10_000);
+
+        assert!(
+            r.branches.mispredict_pct() > p.branches.mispredict_pct() + 5.0,
+            "random branches must mispredict more: {} vs {}",
+            r.branches.mispredict_pct(),
+            p.branches.mispredict_pct()
+        );
+        assert!(
+            r.total_ipc() < p.total_ipc(),
+            "mispredictions must cost throughput: {} vs {}",
+            r.total_ipc(),
+            p.total_ipc()
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The public processor façade.
+
+use crate::config::MachineConfig;
+use crate::pipeline::Engine;
+use crate::stats::TimesliceStats;
+use crate::trace::InstructionSource;
+
+/// An SMT processor: hardware contexts plus the shared microarchitecture.
+///
+/// The processor persists its caches, TLBs, and branch-predictor tables
+/// across timeslices, so the memory system stays warm for jobs that remain
+/// resident — the effect warmstart scheduling (§8 of the paper) exploits.
+/// The pipeline itself (queues, renaming registers, in-flight windows) is
+/// drained at every timeslice boundary, modeling the context-switch flush.
+///
+/// # Example
+///
+/// ```
+/// use smtsim::{MachineConfig, Processor};
+/// use smtsim::trace::{Fetch, Instr, InstructionSource, StreamId};
+///
+/// struct Ones { pc: u64 }
+/// impl InstructionSource for Ones {
+///     fn next_instr(&mut self) -> Fetch {
+///         self.pc += 4;
+///         Fetch::Instr(Instr::int_alu(self.pc, 1))
+///     }
+///     fn id(&self) -> StreamId { StreamId(0) }
+/// }
+///
+/// let mut cpu = Processor::new(MachineConfig::alpha21264_like(2));
+/// let mut job = Ones { pc: 0 };
+/// let stats = cpu.run_timeslice(&mut [&mut job], 1_000);
+/// assert!(stats.total_ipc() > 0.0);
+/// ```
+pub struct Processor {
+    engine: Engine,
+}
+
+impl Processor {
+    /// Builds a processor for the given machine configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent
+    /// (see [`MachineConfig::validate`]).
+    pub fn new(cfg: MachineConfig) -> Self {
+        Processor {
+            engine: Engine::new(cfg),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        self.engine.config()
+    }
+
+    /// Number of hardware contexts (the SMT level).
+    pub fn contexts(&self) -> usize {
+        self.engine.config().contexts
+    }
+
+    /// Runs one timeslice: `threads[i]` executes on hardware context `i` for
+    /// `cycles` cycles, and the hardware counters for the slice are returned.
+    ///
+    /// # Panics
+    /// Panics if `threads` is empty or longer than the number of contexts.
+    pub fn run_timeslice(
+        &mut self,
+        threads: &mut [&mut dyn InstructionSource],
+        cycles: u64,
+    ) -> TimesliceStats {
+        self.engine.run_timeslice(threads, cycles)
+    }
+
+    /// Invalidates caches and TLBs, forcing cold starts (for the cache
+    /// cold-start experiments of §8).
+    pub fn flush_memory_state(&mut self) {
+        self.engine.flush_memory_state()
+    }
+}
+
+impl std::fmt::Debug for Processor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("contexts", &self.engine.config().contexts)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Fetch, Instr, StreamId};
+
+    struct Alu {
+        pc: u64,
+    }
+    impl InstructionSource for Alu {
+        fn next_instr(&mut self) -> Fetch {
+            self.pc = (self.pc + 4) % 4096;
+            Fetch::Instr(Instr::int_alu(self.pc, 0))
+        }
+        fn id(&self) -> StreamId {
+            StreamId(0)
+        }
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let p = Processor::new(MachineConfig::alpha21264_like(3));
+        assert!(format!("{p:?}").contains("contexts"));
+        assert_eq!(p.contexts(), 3);
+    }
+
+    #[test]
+    fn flush_forces_icache_cold_start() {
+        let mut p = Processor::new(MachineConfig::alpha21264_like(1));
+        let mut job = Alu { pc: 0 };
+        let _ = p.run_timeslice(&mut [&mut job], 1_000);
+        // Re-run the same small PC region: warm.
+        let mut job2 = Alu { pc: 0 };
+        let warm = p.run_timeslice(&mut [&mut job2], 1_000);
+        p.flush_memory_state();
+        let mut job3 = Alu { pc: 0 };
+        let cold = p.run_timeslice(&mut [&mut job3], 1_000);
+        assert!(cold.cache.il1_misses >= warm.cache.il1_misses);
+    }
+}

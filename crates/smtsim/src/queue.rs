@@ -1,0 +1,172 @@
+//! Shared out-of-order instruction queues (integer and floating-point).
+//!
+//! Modeled after the Alpha 21264's separate integer and floating-point
+//! queues. Entries wait for their operands (`ready_at`) and are issued
+//! oldest-first when a functional unit is available. A full queue rejects
+//! dispatch — the `IntQueue`/`FpQueue` conflict events of the paper ("a queue
+//! conflict arises when instructions cannot be placed in the queue because it
+//! is full").
+
+use crate::trace::InstrClass;
+
+/// Sentinel for [`QEntry::dep_seq`]: the instruction has no register
+/// dependency.
+pub const NO_DEP: u64 = u64::MAX;
+
+/// One waiting instruction in an issue queue.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QEntry {
+    /// Hardware context the instruction belongs to.
+    pub ctx: u8,
+    /// Instruction class (selects functional unit and latency).
+    pub class: InstrClass,
+    /// Sequence number of the producing instruction (same context), or
+    /// [`NO_DEP`]. The entry is ready once the producer has completed.
+    pub dep_seq: u64,
+    /// Effective address (memory instructions only).
+    pub addr: u64,
+    /// Per-context dynamic sequence number (for dependence bookkeeping).
+    pub seq: u64,
+    /// For branches: whether the predictor got this branch wrong.
+    pub mispredicted: bool,
+}
+
+/// A fixed-capacity issue queue holding instructions in age order.
+#[derive(Clone, Debug)]
+pub struct IssueQueue {
+    entries: Vec<QEntry>,
+    capacity: usize,
+}
+
+impl IssueQueue {
+    /// Builds an empty queue with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        IssueQueue {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Whether the queue has no free entry.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current occupancy.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts an entry.
+    ///
+    /// # Panics
+    /// Panics if the queue is full — callers must check [`is_full`] first
+    /// (that check is where the conflict counter ticks).
+    ///
+    /// [`is_full`]: IssueQueue::is_full
+    #[inline]
+    pub fn push(&mut self, e: QEntry) {
+        assert!(!self.is_full(), "push into a full issue queue");
+        self.entries.push(e);
+    }
+
+    /// Age-ordered view of the waiting instructions (oldest first).
+    #[inline]
+    pub fn entries(&self) -> &[QEntry] {
+        &self.entries
+    }
+
+    /// Removes the entries at the given *ascending* age-order positions
+    /// (as produced by scanning [`entries`](IssueQueue::entries)).
+    pub fn remove_issued(&mut self, ascending_positions: &[usize]) {
+        debug_assert!(ascending_positions.windows(2).all(|w| w[0] < w[1]));
+        for &pos in ascending_positions.iter().rev() {
+            self.entries.remove(pos);
+        }
+    }
+
+    /// Empties the queue (timeslice-boundary pipeline flush). Returns how many
+    /// entries were dropped, so the caller can release their resources.
+    pub fn drain_all(&mut self) -> Vec<QEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64, dep_seq: u64) -> QEntry {
+        QEntry {
+            ctx: 0,
+            class: InstrClass::IntAlu,
+            dep_seq,
+            addr: 0,
+            seq,
+            mispredicted: false,
+        }
+    }
+
+    #[test]
+    fn fills_to_capacity() {
+        let mut q = IssueQueue::new(2);
+        assert!(!q.is_full());
+        q.push(entry(0, 0));
+        q.push(entry(1, 0));
+        assert!(q.is_full());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "full issue queue")]
+    fn push_full_panics() {
+        let mut q = IssueQueue::new(1);
+        q.push(entry(0, 0));
+        q.push(entry(1, 0));
+    }
+
+    #[test]
+    fn age_order_preserved() {
+        let mut q = IssueQueue::new(4);
+        q.push(entry(10, 5));
+        q.push(entry(11, 1));
+        q.push(entry(12, 3));
+        let seqs: Vec<u64> = q.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn remove_issued_removes_right_entries() {
+        let mut q = IssueQueue::new(4);
+        for s in 0..4 {
+            q.push(entry(s, 0));
+        }
+        q.remove_issued(&[0, 2]);
+        let seqs: Vec<u64> = q.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 3]);
+    }
+
+    #[test]
+    fn drain_returns_everything() {
+        let mut q = IssueQueue::new(4);
+        q.push(entry(0, 0));
+        q.push(entry(1, 0));
+        let drained = q.drain_all();
+        assert_eq!(drained.len(), 2);
+        assert!(q.is_empty());
+    }
+}

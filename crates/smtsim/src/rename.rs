@@ -1,0 +1,101 @@
+//! Shared renaming register pools.
+//!
+//! An instruction claims one renaming register (integer or floating-point,
+//! by class) at dispatch and releases it when it completes. When a pool is
+//! empty, dispatch stalls and the corresponding conflict counter ticks — one
+//! of the paper's `AllConf` components.
+
+/// A pool of identical, shared renaming registers.
+#[derive(Clone, Debug)]
+pub struct RegPool {
+    capacity: usize,
+    free: usize,
+}
+
+impl RegPool {
+    /// Builds a pool with `capacity` registers, all free.
+    pub fn new(capacity: usize) -> Self {
+        RegPool {
+            capacity,
+            free: capacity,
+        }
+    }
+
+    /// Attempts to claim one register; returns `false` if the pool is empty.
+    #[inline]
+    pub fn try_alloc(&mut self) -> bool {
+        if self.free == 0 {
+            false
+        } else {
+            self.free -= 1;
+            true
+        }
+    }
+
+    /// Releases one register.
+    ///
+    /// # Panics
+    /// Panics if more registers are released than were allocated.
+    #[inline]
+    pub fn release(&mut self) {
+        assert!(self.free < self.capacity, "register over-release");
+        self.free += 1;
+    }
+
+    /// Registers currently free.
+    #[inline]
+    pub fn free(&self) -> usize {
+        self.free
+    }
+
+    /// Registers currently in use.
+    #[inline]
+    pub fn in_use(&self) -> usize {
+        self.capacity - self.free
+    }
+
+    /// Total registers in the pool.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Frees everything (pipeline flush at timeslice boundary).
+    pub fn reset(&mut self) {
+        self.free = self.capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_empty() {
+        let mut p = RegPool::new(3);
+        assert!(p.try_alloc());
+        assert!(p.try_alloc());
+        assert!(p.try_alloc());
+        assert!(!p.try_alloc());
+        assert_eq!(p.in_use(), 3);
+        p.release();
+        assert!(p.try_alloc());
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn over_release_panics() {
+        let mut p = RegPool::new(2);
+        p.release();
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut p = RegPool::new(4);
+        p.try_alloc();
+        p.try_alloc();
+        p.reset();
+        assert_eq!(p.free(), 4);
+        assert_eq!(p.capacity(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Fully-associative translation lookaside buffers with LRU replacement.
+//!
+//! The paper lists TLB capacity among the modeled 21264 resources; TLBs are
+//! shared structures in the SMT model, so jobs with large page working sets
+//! sweep each other's translations.
+
+use serde::{Deserialize, Serialize};
+
+/// A fully-associative, LRU-replaced TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<u64>,
+    capacity: usize,
+    page_shift: u32,
+    miss_penalty: u64,
+    stats: TlbStats,
+}
+
+/// Reference/miss counts for one timeslice.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub refs: u64,
+    /// Translations that missed and paid the refill penalty.
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss rate in percent; 0 when there were no references.
+    pub fn miss_pct(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            100.0 * self.misses as f64 / self.refs as f64
+        }
+    }
+}
+
+impl Tlb {
+    /// Builds an empty TLB.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or `page_bytes` is not a power of two.
+    pub fn new(capacity: usize, page_bytes: u64, miss_penalty: u64) -> Self {
+        assert!(capacity > 0, "TLB capacity must be positive");
+        assert!(
+            page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            page_shift: page_bytes.trailing_zeros(),
+            miss_penalty,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates `addr`: returns the extra latency (0 on hit, the refill
+    /// penalty on miss) and updates the LRU state.
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let page = addr >> self.page_shift;
+        self.stats.refs += 1;
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let p = self.entries.remove(pos);
+            self.entries.insert(0, p);
+            0
+        } else {
+            self.stats.misses += 1;
+            if self.entries.len() == self.capacity {
+                self.entries.pop();
+            }
+            self.entries.insert(0, page);
+            self.miss_penalty
+        }
+    }
+
+    /// Takes and resets the per-timeslice counters.
+    pub fn take_stats(&mut self) -> TlbStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Invalidates all translations.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of valid translations resident.
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut t = Tlb::new(4, 8192, 50);
+        assert_eq!(t.access(0x0000), 50);
+        assert_eq!(t.access(0x1FFF), 0); // same 8K page
+        assert_eq!(t.access(0x2000), 50); // next page
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = Tlb::new(2, 8192, 50);
+        t.access(0x0000); // page 0
+        t.access(0x2000); // page 1
+        t.access(0x0000); // page 0 MRU
+        t.access(0x4000); // page 2 evicts page 1
+        assert_eq!(t.access(0x0000), 0);
+        assert_eq!(t.access(0x2000), 50);
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut t = Tlb::new(3, 8192, 50);
+        for p in 0..100u64 {
+            t.access(p * 8192);
+        }
+        assert_eq!(t.resident(), 3);
+    }
+
+    #[test]
+    fn stats_and_flush() {
+        let mut t = Tlb::new(4, 8192, 50);
+        t.access(0);
+        t.access(0);
+        let s = t.take_stats();
+        assert_eq!(s.refs, 2);
+        assert_eq!(s.misses, 1);
+        assert!((s.miss_pct() - 50.0).abs() < 1e-9);
+        t.flush();
+        assert_eq!(t.resident(), 0);
+        assert_eq!(t.take_stats(), TlbStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0, 8192, 50);
+    }
+}

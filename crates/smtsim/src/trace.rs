@@ -1,0 +1,332 @@
+//! The instruction-stream contract between workloads and the processor.
+//!
+//! A hardware context executes whatever its attached [`InstructionSource`]
+//! produces. Sources may report themselves [`Fetch::Blocked`] (e.g. a parallel
+//! thread spinning at a barrier whose siblings are not scheduled) or
+//! [`Fetch::Finished`] (the job completed).
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies the address space / job a stream belongs to.
+///
+/// The upper bits of every address a stream emits should embed its `StreamId`
+/// (see [`StreamId::tag_addr`]) so that distinct jobs conflict in the shared
+/// caches without false sharing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// Number of low-order address bits left for the stream's own layout.
+    pub const ADDR_BITS: u32 = 40;
+
+    /// Embeds this stream id into the upper bits of a 40-bit local address,
+    /// producing a globally unique physical address.
+    ///
+    /// ```
+    /// use smtsim::trace::StreamId;
+    /// let a = StreamId(3).tag_addr(0x1000);
+    /// let b = StreamId(4).tag_addr(0x1000);
+    /// assert_ne!(a, b);
+    /// ```
+    #[inline]
+    pub fn tag_addr(self, local: u64) -> u64 {
+        (u64::from(self.0) << Self::ADDR_BITS) | (local & ((1 << Self::ADDR_BITS) - 1))
+    }
+}
+
+impl Default for StreamId {
+    /// A sentinel id (`u32::MAX`) meaning "no stream".
+    fn default() -> Self {
+        StreamId(u32::MAX)
+    }
+}
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The dynamic instruction classes the simulator models.
+///
+/// Latencies for each class come from [`crate::config::Latencies`]. Loads and
+/// stores additionally pay for cache and TLB access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrClass {
+    /// Single-cycle integer ALU operation (add, logical, shift, compare).
+    IntAlu,
+    /// Integer multiply (long latency, integer unit).
+    IntMul,
+    /// Floating-point add/subtract/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root (long latency, unpipelined-ish).
+    FpDiv,
+    /// Memory load (integer queue + load/store port + D-cache).
+    Load,
+    /// Memory store (integer queue + load/store port + D-cache).
+    Store,
+    /// Conditional branch (integer unit; resolves the predictor).
+    Branch,
+}
+
+impl InstrClass {
+    /// All classes, in a fixed order (useful for histograms).
+    pub const ALL: [InstrClass; 8] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::FpAdd,
+        InstrClass::FpMul,
+        InstrClass::FpDiv,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::Branch,
+    ];
+
+    /// Whether the instruction dispatches to the floating-point queue and
+    /// consumes a floating-point renaming register.
+    #[inline]
+    pub fn is_fp(self) -> bool {
+        matches!(
+            self,
+            InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv
+        )
+    }
+
+    /// Whether the instruction is a memory operation needing a load/store port.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+}
+
+impl std::fmt::Display for InstrClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InstrClass::IntAlu => "int_alu",
+            InstrClass::IntMul => "int_mul",
+            InstrClass::FpAdd => "fp_add",
+            InstrClass::FpMul => "fp_mul",
+            InstrClass::FpDiv => "fp_div",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic instruction.
+///
+/// `dep_dist` encodes the data dependency structure statistically: the
+/// instruction depends on the result of the instruction `dep_dist` positions
+/// earlier in its own thread's dynamic order (`0` means no register
+/// dependency). This is how synthetic traces express their intrinsic ILP.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Instruction class (selects queue, functional unit, and latency).
+    pub class: InstrClass,
+    /// Program counter (already tagged with the stream id; used for I-cache,
+    /// I-TLB, and branch predictor indexing).
+    pub pc: u64,
+    /// Dependency distance in dynamic instructions; 0 = independent.
+    pub dep_dist: u8,
+    /// Effective address for loads/stores (tagged with the stream id).
+    pub addr: u64,
+    /// Branch outcome (meaningful only for `Branch`).
+    pub taken: bool,
+}
+
+impl Instr {
+    /// A single-cycle integer ALU instruction.
+    #[inline]
+    pub fn int_alu(pc: u64, dep_dist: u8) -> Self {
+        Instr {
+            class: InstrClass::IntAlu,
+            pc,
+            dep_dist,
+            addr: 0,
+            taken: false,
+        }
+    }
+
+    /// An integer multiply.
+    #[inline]
+    pub fn int_mul(pc: u64, dep_dist: u8) -> Self {
+        Instr {
+            class: InstrClass::IntMul,
+            pc,
+            dep_dist,
+            addr: 0,
+            taken: false,
+        }
+    }
+
+    /// A floating-point instruction of the given class.
+    ///
+    /// # Panics
+    /// Panics if `class` is not one of the floating-point classes.
+    #[inline]
+    pub fn fp(class: InstrClass, pc: u64, dep_dist: u8) -> Self {
+        assert!(class.is_fp(), "Instr::fp requires an FP class, got {class}");
+        Instr {
+            class,
+            pc,
+            dep_dist,
+            addr: 0,
+            taken: false,
+        }
+    }
+
+    /// A load from `addr`.
+    #[inline]
+    pub fn load(pc: u64, addr: u64, dep_dist: u8) -> Self {
+        Instr {
+            class: InstrClass::Load,
+            pc,
+            dep_dist,
+            addr,
+            taken: false,
+        }
+    }
+
+    /// A store to `addr`.
+    #[inline]
+    pub fn store(pc: u64, addr: u64, dep_dist: u8) -> Self {
+        Instr {
+            class: InstrClass::Store,
+            pc,
+            dep_dist,
+            addr,
+            taken: false,
+        }
+    }
+
+    /// A conditional branch with the given architectural outcome.
+    #[inline]
+    pub fn branch(pc: u64, taken: bool) -> Self {
+        Instr {
+            class: InstrClass::Branch,
+            pc,
+            dep_dist: 0,
+            addr: 0,
+            taken,
+        }
+    }
+}
+
+/// What a source hands the fetch unit when asked for the next instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Fetch {
+    /// The next dynamic instruction.
+    Instr(Instr),
+    /// The thread cannot make progress right now (e.g. waiting at a barrier
+    /// for an unscheduled sibling). The fetch unit will skip it this cycle
+    /// and retry later in the timeslice.
+    Blocked,
+    /// The job has finished; the context idles for the rest of the timeslice.
+    Finished,
+}
+
+impl Fetch {
+    /// Returns the contained instruction, if any.
+    #[inline]
+    pub fn instr(self) -> Option<Instr> {
+        match self {
+            Fetch::Instr(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// A stream of dynamic instructions executed by one hardware context.
+///
+/// Implementations own all job-level state (position in the job, phase
+/// behaviour, synchronization with sibling threads), so a job can be detached
+/// from the processor at the end of a timeslice and re-attached later without
+/// losing progress.
+pub trait InstructionSource {
+    /// Produces the next dynamic instruction, or reports the thread blocked or
+    /// finished. Called by the fetch stage; each `Fetch::Instr` returned is
+    /// considered fetched (it will be executed — the simulator does not fetch
+    /// down wrong paths).
+    fn next_instr(&mut self) -> Fetch;
+
+    /// The address-space tag of this stream.
+    fn id(&self) -> StreamId;
+}
+
+impl<T: InstructionSource + ?Sized> InstructionSource for &mut T {
+    fn next_instr(&mut self) -> Fetch {
+        (**self).next_instr()
+    }
+    fn id(&self) -> StreamId {
+        (**self).id()
+    }
+}
+
+impl<T: InstructionSource + ?Sized> InstructionSource for Box<T> {
+    fn next_instr(&mut self) -> Fetch {
+        (**self).next_instr()
+    }
+    fn id(&self) -> StreamId {
+        (**self).id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_id_tagging_separates_address_spaces() {
+        let a = StreamId(1).tag_addr(0xdead_beef);
+        let b = StreamId(2).tag_addr(0xdead_beef);
+        assert_ne!(a, b);
+        // Low bits preserved.
+        assert_eq!(a & 0xffff_ffff, 0xdead_beef);
+    }
+
+    #[test]
+    fn stream_id_tagging_masks_overlong_local_addresses() {
+        let a = StreamId(1).tag_addr(u64::MAX);
+        assert_eq!(a >> StreamId::ADDR_BITS, 1);
+    }
+
+    #[test]
+    fn fp_classes_are_fp() {
+        assert!(InstrClass::FpAdd.is_fp());
+        assert!(InstrClass::FpMul.is_fp());
+        assert!(InstrClass::FpDiv.is_fp());
+        assert!(!InstrClass::Load.is_fp());
+        assert!(!InstrClass::IntAlu.is_fp());
+    }
+
+    #[test]
+    fn mem_classes_are_mem() {
+        assert!(InstrClass::Load.is_mem());
+        assert!(InstrClass::Store.is_mem());
+        assert!(!InstrClass::FpAdd.is_mem());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an FP class")]
+    fn fp_constructor_rejects_int() {
+        let _ = Instr::fp(InstrClass::IntAlu, 0, 0);
+    }
+
+    #[test]
+    fn fetch_instr_accessor() {
+        let i = Instr::int_alu(4, 0);
+        assert_eq!(Fetch::Instr(i).instr(), Some(i));
+        assert_eq!(Fetch::Blocked.instr(), None);
+        assert_eq!(Fetch::Finished.instr(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(StreamId(3).to_string(), "S3");
+        assert_eq!(InstrClass::FpDiv.to_string(), "fp_div");
+    }
+}

@@ -1,0 +1,274 @@
+//! The jobmixes of the paper's Table 1.
+//!
+//! Each experiment runs a fixed mix of single-threaded benchmarks and
+//! (for the `Jp*` experiments and the hierarchical-symbiosis study)
+//! multithreaded parallel jobs. A [`JobSpec`] describes one *job*; parallel
+//! jobs expand into multiple schedulable threads.
+
+use crate::parallel::ParallelJob;
+use crate::spec::Benchmark;
+use serde::{Deserialize, Serialize};
+use smtsim::trace::StreamId;
+
+/// How a job synchronizes, if it is multithreaded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncStyle {
+    /// Tight barriers (the paper's ARRAY): siblings must be coscheduled.
+    Tight,
+    /// Rare barriers (the J2pb ARRAY variant): coscheduling is unnecessary.
+    Loose,
+    /// No synchronization at all (e.g. threads of `mt_EP`).
+    None,
+}
+
+impl SyncStyle {
+    /// The barrier period in instructions this style implies.
+    pub fn period(self) -> u64 {
+        match self {
+            SyncStyle::Tight => ParallelJob::TIGHT_SYNC_PERIOD,
+            SyncStyle::Loose => ParallelJob::LOOSE_SYNC_PERIOD,
+            SyncStyle::None => 0,
+        }
+    }
+}
+
+/// One job in a jobmix.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Which benchmark the job runs.
+    pub benchmark: Benchmark,
+    /// Number of threads (1 = ordinary single-threaded job).
+    pub threads: usize,
+    /// Synchronization style among the threads (ignored when `threads == 1`).
+    pub sync: SyncStyle,
+}
+
+impl JobSpec {
+    /// A single-threaded job.
+    pub fn single(benchmark: Benchmark) -> Self {
+        JobSpec {
+            benchmark,
+            threads: 1,
+            sync: SyncStyle::None,
+        }
+    }
+
+    /// A multithreaded job with `threads` threads and the given sync style.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn parallel(benchmark: Benchmark, threads: usize, sync: SyncStyle) -> Self {
+        assert!(threads > 0, "a job needs at least one thread");
+        JobSpec {
+            benchmark,
+            threads,
+            sync,
+        }
+    }
+
+    /// A display name ("GCC", "mt_ARRAY(2)").
+    pub fn label(&self) -> String {
+        if self.threads == 1 {
+            self.benchmark.name().to_string()
+        } else {
+            format!("mt_{}({})", self.benchmark.name(), self.threads)
+        }
+    }
+
+    /// Expands the job into schedulable instruction streams. Thread `i` is
+    /// tagged `base_id + i`; the job's RNG seed derives from `seed`.
+    pub fn build(
+        &self,
+        base_id: StreamId,
+        seed: u64,
+    ) -> Vec<Box<dyn smtsim::trace::InstructionSource + Send>> {
+        if self.threads == 1 {
+            vec![Box::new(crate::synth::SyntheticStream::new(
+                self.benchmark.profile(),
+                base_id,
+                seed,
+            ))]
+        } else {
+            ParallelJob::new(
+                self.benchmark,
+                self.threads,
+                self.sync.period(),
+                base_id,
+                seed,
+            )
+            .into_threads()
+            .into_iter()
+            .map(|t| Box::new(t) as Box<dyn smtsim::trace::InstructionSource + Send>)
+            .collect()
+        }
+    }
+}
+
+/// The single-threaded jobmixes of Table 1, keyed by the number of runnable
+/// jobs. Returns `None` for sizes the paper does not use.
+///
+/// * 4 jobs — FP, MG, GCC, IS (`Jsb(4,2,2)`)
+/// * 5 jobs — FP, MG, WAVE, GCC, GO (`Jsb(5,2,2)`, `Jsl(5,2,1)`)
+/// * 6 jobs — FP, MG, WAVE, GCC, GCC, GO (`Jsb(6,3,*)`, `Jsl(6,3,1)`)
+/// * 8 jobs — FP, MG, WAVE, SWIM, GCC, GCC, GO, IS (`Jsb(8,4,*)`, `Jsl(8,4,1)`)
+/// * 12 jobs — FP, MG, WAVE, SWIM, SU2COR, TURB3D, GCC, GCC, GO, IS, CG, EP
+///   (`Jsb(12,6,6)`, `Jsb(12,4,4)`)
+pub fn single_threaded_mix(jobs: usize) -> Option<Vec<JobSpec>> {
+    use Benchmark::*;
+    let mix = match jobs {
+        4 => vec![Fp, Mg, Gcc, Is],
+        5 => vec![Fp, Mg, Wave, Gcc, Go],
+        6 => vec![Fp, Mg, Wave, Gcc, Gcc, Go],
+        8 => vec![Fp, Mg, Wave, Swim, Gcc, Gcc, Go, Is],
+        12 => vec![Fp, Mg, Wave, Swim, Su2cor, Turb3d, Gcc, Gcc, Go, Is, Cg, Ep],
+        _ => return None,
+    };
+    Some(mix.into_iter().map(JobSpec::single).collect())
+}
+
+/// The parallel jobmix of `Jpb(10,2,2)` / `J2pb(10,2,2)`: eight
+/// single-threaded jobs plus one two-threaded ARRAY (its threads are the two
+/// "ARRAY" entries in Table 1). `tight` selects the tightly-synchronizing
+/// ARRAY (Jpb) or the loose variant (J2pb).
+pub fn parallel_mix(tight: bool) -> Vec<JobSpec> {
+    use Benchmark::*;
+    let mut jobs: Vec<JobSpec> = [Fp, Mg, Wave, Swim, Su2cor, Turb3d, Gcc, Gcc]
+        .into_iter()
+        .map(JobSpec::single)
+        .collect();
+    jobs.push(JobSpec::parallel(
+        Array,
+        2,
+        if tight {
+            SyncStyle::Tight
+        } else {
+            SyncStyle::Loose
+        },
+    ));
+    jobs
+}
+
+/// The hierarchical-symbiosis jobmixes of Table 1's "SMT level" rows.
+/// Returns `None` for levels the paper does not use.
+///
+/// * SMT 2 — CG, mt_ARRAY, EP
+/// * SMT 3 — FP, MG, WAVE, mt_EP, CG
+/// * SMT 4 — FP, MG, WAVE, mt_ARRAY, EP, CG
+/// * SMT 6 — FP, MG, WAVE, GO, IS, GCC, mt_ARRAY, EP, CG, FT
+///
+/// The multithreaded jobs (`mt_*`) are listed with their maximum thread
+/// count; the hierarchical scheduler decides how many contexts each actually
+/// receives (§7).
+pub fn hierarchical_mix(smt_level: usize) -> Option<Vec<JobSpec>> {
+    use Benchmark::*;
+    let jobs = match smt_level {
+        2 => vec![
+            JobSpec::single(Cg),
+            JobSpec::parallel(Array, 2, SyncStyle::Tight),
+            JobSpec::single(Ep),
+        ],
+        3 => vec![
+            JobSpec::single(Fp),
+            JobSpec::single(Mg),
+            JobSpec::single(Wave),
+            JobSpec::parallel(Ep, 2, SyncStyle::None),
+            JobSpec::single(Cg),
+        ],
+        4 => vec![
+            JobSpec::single(Fp),
+            JobSpec::single(Mg),
+            JobSpec::single(Wave),
+            JobSpec::parallel(Array, 2, SyncStyle::Tight),
+            JobSpec::single(Ep),
+            JobSpec::single(Cg),
+        ],
+        6 => vec![
+            JobSpec::single(Fp),
+            JobSpec::single(Mg),
+            JobSpec::single(Wave),
+            JobSpec::single(Go),
+            JobSpec::single(Is),
+            JobSpec::single(Gcc),
+            JobSpec::parallel(Array, 2, SyncStyle::Tight),
+            JobSpec::single(Ep),
+            JobSpec::single(Cg),
+            JobSpec::single(Ft),
+        ],
+        _ => return None,
+    };
+    Some(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_match() {
+        assert_eq!(single_threaded_mix(4).unwrap().len(), 4);
+        assert_eq!(single_threaded_mix(5).unwrap().len(), 5);
+        assert_eq!(single_threaded_mix(6).unwrap().len(), 6);
+        assert_eq!(single_threaded_mix(8).unwrap().len(), 8);
+        assert_eq!(single_threaded_mix(12).unwrap().len(), 12);
+        assert!(single_threaded_mix(7).is_none());
+    }
+
+    #[test]
+    fn parallel_mix_has_ten_threads() {
+        for tight in [true, false] {
+            let jobs = parallel_mix(tight);
+            let threads: usize = jobs.iter().map(|j| j.threads).sum();
+            assert_eq!(threads, 10);
+            assert_eq!(jobs.len(), 9);
+        }
+    }
+
+    #[test]
+    fn jpb_sync_styles_differ() {
+        assert_eq!(parallel_mix(true).last().unwrap().sync, SyncStyle::Tight);
+        assert_eq!(parallel_mix(false).last().unwrap().sync, SyncStyle::Loose);
+    }
+
+    #[test]
+    fn hierarchical_rows_exist() {
+        for level in [2, 3, 4, 6] {
+            let jobs = hierarchical_mix(level).unwrap();
+            assert!(
+                jobs.iter().any(|j| j.threads > 1),
+                "SMT {level} row has an mt job"
+            );
+        }
+        assert!(hierarchical_mix(5).is_none());
+    }
+
+    #[test]
+    fn six_job_mix_has_two_gccs() {
+        let mix = single_threaded_mix(6).unwrap();
+        let gccs = mix.iter().filter(|j| j.benchmark == Benchmark::Gcc).count();
+        assert_eq!(gccs, 2);
+    }
+
+    #[test]
+    fn build_expands_threads() {
+        let spec = JobSpec::parallel(Benchmark::Array, 2, SyncStyle::Tight);
+        let streams = spec.build(StreamId(0), 42);
+        assert_eq!(streams.len(), 2);
+        let single = JobSpec::single(Benchmark::Gcc).build(StreamId(5), 1);
+        assert_eq!(single.len(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(JobSpec::single(Benchmark::Gcc).label(), "GCC");
+        assert_eq!(
+            JobSpec::parallel(Benchmark::Ep, 3, SyncStyle::None).label(),
+            "mt_EP(3)"
+        );
+    }
+
+    #[test]
+    fn sync_periods() {
+        assert_eq!(SyncStyle::None.period(), 0);
+        assert!(SyncStyle::Tight.period() < SyncStyle::Loose.period());
+    }
+}

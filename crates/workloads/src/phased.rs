@@ -1,0 +1,196 @@
+//! Strongly phased workloads.
+//!
+//! §9 of the paper observes that the SPEC and NPB benchmarks have stable
+//! resource-utilization profiles, and that "other workloads will experience
+//! more phased behavior" — which is what makes resampling worthwhile. A
+//! [`PhasedStream`] models such a program: it alternates between distinct
+//! behavioural phases (each a full [`SyntheticStream`] with its own profile,
+//! code region, and data region), switching every `phase_len` instructions —
+//! like a compiler alternating parsing, optimization, and code generation.
+
+use crate::profile::BenchProfile;
+use crate::synth::SyntheticStream;
+use smtsim::trace::{Fetch, InstructionSource, StreamId};
+
+/// A job that cycles through several behavioural phases.
+pub struct PhasedStream {
+    phases: Vec<SyntheticStream>,
+    phase_len: u64,
+    active: usize,
+    emitted: u64,
+    limit: Option<u64>,
+}
+
+impl PhasedStream {
+    /// Builds a phased job from the given per-phase profiles, switching every
+    /// `phase_len` instructions. All phases share the stream id (they are one
+    /// program) but use distinct code/data placements.
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty, `phase_len == 0`, or any profile fails
+    /// validation.
+    pub fn new(profiles: Vec<BenchProfile>, phase_len: u64, id: StreamId, seed: u64) -> Self {
+        assert!(
+            !profiles.is_empty(),
+            "a phased job needs at least one phase"
+        );
+        assert!(phase_len > 0, "phase length must be positive");
+        let phases = profiles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| SyntheticStream::new(p, id, seed.wrapping_add(0x9e37 * (i as u64 + 1))))
+            .collect();
+        PhasedStream {
+            phases,
+            phase_len,
+            active: 0,
+            emitted: 0,
+            limit: None,
+        }
+    }
+
+    /// Restricts the job to `n` total instructions.
+    pub fn with_limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Index of the currently active phase.
+    pub fn active_phase(&self) -> usize {
+        self.active
+    }
+
+    /// Total instructions emitted across all phases.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Whether a limited job has finished.
+    pub fn is_finished(&self) -> bool {
+        self.limit.is_some_and(|l| self.emitted >= l)
+    }
+}
+
+impl InstructionSource for PhasedStream {
+    fn next_instr(&mut self) -> Fetch {
+        if self.is_finished() {
+            return Fetch::Finished;
+        }
+        let phase_idx = (self.emitted / self.phase_len) as usize % self.phases.len();
+        self.active = phase_idx;
+        let f = self.phases[phase_idx].next_instr();
+        if matches!(f, Fetch::Instr(_)) {
+            self.emitted += 1;
+        }
+        f
+    }
+
+    fn id(&self) -> StreamId {
+        self.phases[0].id()
+    }
+}
+
+impl std::fmt::Debug for PhasedStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhasedStream")
+            .field("phases", &self.phases.len())
+            .field("phase_len", &self.phase_len)
+            .field("active", &self.active)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+/// A ready-made strongly-phased job: alternates between a compute-bound
+/// FP phase (EP-like) and a branchy integer phase (GCC-like) every
+/// `phase_len` instructions.
+pub fn fp_int_alternator(phase_len: u64, id: StreamId, seed: u64) -> PhasedStream {
+    let fp = crate::spec::Benchmark::Ep.profile();
+    let int = crate::spec::Benchmark::Gcc.profile();
+    PhasedStream::new(vec![fp, int], phase_len, id, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtsim::trace::InstrClass;
+
+    fn fp_fraction(instrs: &[smtsim::Instr]) -> f64 {
+        let fp = instrs.iter().filter(|i| i.class.is_fp()).count();
+        fp as f64 / instrs.len() as f64
+    }
+
+    fn drain(s: &mut PhasedStream, n: usize) -> Vec<smtsim::Instr> {
+        (0..n).filter_map(|_| s.next_instr().instr()).collect()
+    }
+
+    #[test]
+    fn phases_alternate_on_schedule() {
+        let mut s = fp_int_alternator(1_000, StreamId(0), 5);
+        let first = drain(&mut s, 1_000);
+        assert_eq!(s.active_phase(), 0);
+        let second = drain(&mut s, 1_000);
+        assert_eq!(s.active_phase(), 1);
+        // The FP phase is FP-heavy, the integer phase has no FP at all.
+        assert!(
+            fp_fraction(&first) > 0.3,
+            "fp phase: {}",
+            fp_fraction(&first)
+        );
+        assert_eq!(fp_fraction(&second), 0.0, "int phase must be integer-only");
+    }
+
+    #[test]
+    fn phases_cycle_back() {
+        let mut s = fp_int_alternator(100, StreamId(0), 5);
+        let _ = drain(&mut s, 200);
+        let third = drain(&mut s, 100);
+        assert_eq!(s.active_phase(), 0, "wraps back to the first phase");
+        assert!(fp_fraction(&third) > 0.3);
+    }
+
+    #[test]
+    fn limit_finishes() {
+        let mut s = fp_int_alternator(50, StreamId(0), 5).with_limit(120);
+        let got = drain(&mut s, 500);
+        assert_eq!(got.len(), 120);
+        assert!(s.is_finished());
+        assert_eq!(s.next_instr(), Fetch::Finished);
+    }
+
+    #[test]
+    fn each_phase_resumes_where_it_left_off() {
+        // Phase streams keep their own position: returning to phase 0 should
+        // not replay the exact same instructions.
+        let mut s = fp_int_alternator(100, StreamId(0), 5);
+        let a = drain(&mut s, 100);
+        let _ = drain(&mut s, 100);
+        let b = drain(&mut s, 100);
+        assert_ne!(a, b, "second visit to phase 0 continues, not restarts");
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = fp_int_alternator(77, StreamId(2), 9);
+        let mut b = fp_int_alternator(77, StreamId(2), 9);
+        assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_rejected() {
+        let _ = PhasedStream::new(vec![], 10, StreamId(0), 1);
+    }
+
+    #[test]
+    fn classes_match_phase_profiles() {
+        // During the integer phase no FP instruction may appear.
+        let mut s = fp_int_alternator(500, StreamId(0), 3);
+        let _ = drain(&mut s, 500);
+        let int_phase = drain(&mut s, 500);
+        assert!(int_phase.iter().all(|i| !matches!(
+            i.class,
+            InstrClass::FpAdd | InstrClass::FpMul | InstrClass::FpDiv
+        )));
+    }
+}

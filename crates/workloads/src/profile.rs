@@ -1,0 +1,226 @@
+//! Benchmark profiles: the statistical fingerprint of one program.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative weights of the eight instruction classes a program executes.
+///
+/// Weights need not sum to 1; the generator normalizes them.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Integer ALU operations.
+    pub int_alu: f64,
+    /// Integer multiplies.
+    pub int_mul: f64,
+    /// FP add/subtract.
+    pub fp_add: f64,
+    /// FP multiply.
+    pub fp_mul: f64,
+    /// FP divide.
+    pub fp_div: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+}
+
+impl ClassMix {
+    /// The weights as an array in [`smtsim::InstrClass::ALL`] order.
+    pub fn weights(&self) -> [f64; 8] {
+        [
+            self.int_alu,
+            self.int_mul,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+            self.load,
+            self.store,
+            self.branch,
+        ]
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.weights().iter().sum()
+    }
+
+    /// Fraction of instructions that are FP arithmetic.
+    pub fn fp_fraction(&self) -> f64 {
+        (self.fp_add + self.fp_mul + self.fp_div) / self.total()
+    }
+
+    /// Validates that all weights are finite, non-negative, and not all zero.
+    pub fn validate(&self) -> Result<(), String> {
+        let w = self.weights();
+        if w.iter().any(|x| !x.is_finite() || *x < 0.0) {
+            return Err("class-mix weights must be finite and non-negative".into());
+        }
+        if self.total() <= 0.0 {
+            return Err("class-mix weights must not all be zero".into());
+        }
+        Ok(())
+    }
+}
+
+/// The full statistical fingerprint of a benchmark.
+///
+/// These are the knobs the synthetic generator uses; see
+/// [`crate::spec::Benchmark`] for the per-benchmark values used in the
+/// reproduction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchProfile {
+    /// Human-readable name ("fpppp", "gcc", ...).
+    pub name: String,
+    /// Instruction-class mix.
+    pub mix: ClassMix,
+    /// Mean register-dependency distance in dynamic instructions. Larger
+    /// values mean more intrinsic ILP. Must be >= 1.
+    pub dep_mean: f64,
+    /// Number of static branch sites (more sites = more predictor pressure).
+    pub branch_sites: usize,
+    /// Probability that a branch site is strongly biased (predictable).
+    /// Unbiased sites flip nearly randomly.
+    pub branch_predictability: f64,
+    /// Code footprint in bytes (I-cache pressure).
+    pub code_bytes: u64,
+    /// Data footprint in bytes (D-cache/L2 pressure).
+    pub data_bytes: u64,
+    /// Probability that a memory reference hits the hot subset of the data
+    /// footprint rather than sweeping the whole footprint.
+    pub locality: f64,
+    /// Fraction of `data_bytes` forming the hot subset.
+    pub hot_fraction: f64,
+    /// Whether memory references stride sequentially (streaming FP codes) or
+    /// scatter (pointer-chasing integer codes).
+    pub streaming: bool,
+    /// Instructions per slow phase oscillation (0 disables phases).
+    pub phase_period: u64,
+    /// Amplitude of the phase swing applied to the FP/memory mix, 0..1.
+    pub phase_amplitude: f64,
+}
+
+impl BenchProfile {
+    /// Validates parameter ranges; returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.mix.validate()?;
+        if self.dep_mean < 1.0 {
+            return Err(format!("{}: dep_mean must be >= 1", self.name));
+        }
+        if self.branch_sites == 0 {
+            return Err(format!("{}: need at least one branch site", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.branch_predictability) {
+            return Err(format!(
+                "{}: branch_predictability must be in [0,1]",
+                self.name
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.locality) || !(0.0..=1.0).contains(&self.hot_fraction) {
+            return Err(format!(
+                "{}: locality/hot_fraction must be in [0,1]",
+                self.name
+            ));
+        }
+        if self.code_bytes < 256 || self.data_bytes < 256 {
+            return Err(format!(
+                "{}: code/data footprints must be at least 256 bytes",
+                self.name
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.phase_amplitude) {
+            return Err(format!("{}: phase_amplitude must be in [0,1]", self.name));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> ClassMix {
+        ClassMix {
+            int_alu: 0.3,
+            int_mul: 0.01,
+            fp_add: 0.2,
+            fp_mul: 0.15,
+            fp_div: 0.02,
+            load: 0.2,
+            store: 0.07,
+            branch: 0.05,
+        }
+    }
+
+    fn profile() -> BenchProfile {
+        BenchProfile {
+            name: "test".into(),
+            mix: mix(),
+            dep_mean: 4.0,
+            branch_sites: 64,
+            branch_predictability: 0.9,
+            code_bytes: 16 << 10,
+            data_bytes: 256 << 10,
+            locality: 0.85,
+            hot_fraction: 0.1,
+            streaming: false,
+            phase_period: 100_000,
+            phase_amplitude: 0.2,
+        }
+    }
+
+    #[test]
+    fn fp_fraction_math() {
+        let m = mix();
+        assert!((m.fp_fraction() - 0.37).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        profile().validate().unwrap();
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let mut p = profile();
+        p.mix.load = -0.1;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_mix_rejected() {
+        let mut p = profile();
+        p.mix = ClassMix {
+            int_alu: 0.0,
+            int_mul: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+            load: 0.0,
+            store: 0.0,
+            branch: 0.0,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_dep_mean_rejected() {
+        let mut p = profile();
+        p.dep_mean = 0.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_locality_rejected() {
+        let mut p = profile();
+        p.locality = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_footprint_rejected() {
+        let mut p = profile();
+        p.data_bytes = 8;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,455 @@
+//! Named benchmark models: the programs of the paper's Table 1.
+//!
+//! Each profile is a synthetic stand-in whose statistics follow the
+//! qualitative characterization of the original program (see DESIGN.md for
+//! the substitution rationale): *fpppp* has enormous basic blocks of
+//! high-ILP FP code and a tiny data set; *gcc* and *go* are branchy,
+//! low-ILP integer codes; *swim* streams through a large array working set;
+//! *IS* (NPB integer sort) scatters through a huge footprint; *EP* is
+//! compute-bound and cache-resident; and so on.
+
+use crate::profile::{BenchProfile, ClassMix};
+use crate::synth::SyntheticStream;
+use serde::{Deserialize, Serialize};
+use smtsim::trace::StreamId;
+
+/// The benchmarks used in the paper's experiments.
+///
+/// `Fp` is SPEC95 *fpppp* and `Mg` is *mgrid*, as in the paper's Table 1
+/// caption. `Array` is the hand-coded parallel-prefix program; its tightly-
+/// and loosely-synchronizing variants are selected when building a
+/// [`crate::parallel::ParallelJob`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Fp,
+    Mg,
+    Wave,
+    Swim,
+    Su2cor,
+    Turb3d,
+    Gcc,
+    Go,
+    Is,
+    Cg,
+    Ep,
+    Ft,
+    Array,
+}
+
+impl Benchmark {
+    /// Every benchmark, in a fixed order.
+    pub const ALL: [Benchmark; 13] = [
+        Benchmark::Fp,
+        Benchmark::Mg,
+        Benchmark::Wave,
+        Benchmark::Swim,
+        Benchmark::Su2cor,
+        Benchmark::Turb3d,
+        Benchmark::Gcc,
+        Benchmark::Go,
+        Benchmark::Is,
+        Benchmark::Cg,
+        Benchmark::Ep,
+        Benchmark::Ft,
+        Benchmark::Array,
+    ];
+
+    /// The paper's name for the benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Fp => "FP",
+            Benchmark::Mg => "MG",
+            Benchmark::Wave => "WAVE",
+            Benchmark::Swim => "SWIM",
+            Benchmark::Su2cor => "SU2COR",
+            Benchmark::Turb3d => "TURB3D",
+            Benchmark::Gcc => "GCC",
+            Benchmark::Go => "GO",
+            Benchmark::Is => "IS",
+            Benchmark::Cg => "CG",
+            Benchmark::Ep => "EP",
+            Benchmark::Ft => "FT",
+            Benchmark::Array => "ARRAY",
+        }
+    }
+
+    /// Parses the paper's name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Benchmark> {
+        let up = s.trim().to_ascii_uppercase();
+        Benchmark::ALL.into_iter().find(|b| b.name() == up)
+    }
+
+    /// The synthetic profile modeling this benchmark.
+    pub fn profile(self) -> BenchProfile {
+        match self {
+            // fpppp: enormous basic blocks of high-ILP FP code, tiny data set.
+            Benchmark::Fp => BenchProfile {
+                name: "fpppp".into(),
+                mix: ClassMix {
+                    int_alu: 0.18,
+                    int_mul: 0.01,
+                    fp_add: 0.28,
+                    fp_mul: 0.24,
+                    fp_div: 0.02,
+                    load: 0.17,
+                    store: 0.07,
+                    branch: 0.03,
+                },
+                dep_mean: 8.0,
+                branch_sites: 512,
+                branch_predictability: 0.98,
+                code_bytes: 48 << 10,
+                data_bytes: 96 << 10,
+                locality: 0.95,
+                hot_fraction: 0.083,
+                streaming: false,
+                phase_period: 120_000,
+                phase_amplitude: 0.10,
+            },
+            // mgrid: streaming multigrid stencil, moderate footprint.
+            Benchmark::Mg => BenchProfile {
+                name: "mgrid".into(),
+                mix: ClassMix {
+                    int_alu: 0.16,
+                    int_mul: 0.01,
+                    fp_add: 0.25,
+                    fp_mul: 0.20,
+                    fp_div: 0.01,
+                    load: 0.25,
+                    store: 0.07,
+                    branch: 0.05,
+                },
+                dep_mean: 6.0,
+                branch_sites: 512,
+                branch_predictability: 0.97,
+                code_bytes: 12 << 10,
+                data_bytes: 3 << 20,
+                locality: 0.80,
+                hot_fraction: 0.0026,
+                streaming: true,
+                phase_period: 90_000,
+                phase_amplitude: 0.20,
+            },
+            // wave5: FP particle/field code, medium footprint.
+            Benchmark::Wave => BenchProfile {
+                name: "wave5".into(),
+                mix: ClassMix {
+                    int_alu: 0.22,
+                    int_mul: 0.01,
+                    fp_add: 0.20,
+                    fp_mul: 0.16,
+                    fp_div: 0.01,
+                    load: 0.24,
+                    store: 0.09,
+                    branch: 0.07,
+                },
+                dep_mean: 6.0,
+                branch_sites: 800,
+                branch_predictability: 0.95,
+                code_bytes: 32 << 10,
+                data_bytes: 1 << 20,
+                locality: 0.85,
+                hot_fraction: 0.008,
+                streaming: true,
+                phase_period: 70_000,
+                phase_amplitude: 0.25,
+            },
+            // swim: shallow-water model, large streaming arrays, memory bound.
+            Benchmark::Swim => BenchProfile {
+                name: "swim".into(),
+                mix: ClassMix {
+                    int_alu: 0.12,
+                    int_mul: 0.01,
+                    fp_add: 0.22,
+                    fp_mul: 0.18,
+                    fp_div: 0.01,
+                    load: 0.30,
+                    store: 0.12,
+                    branch: 0.04,
+                },
+                dep_mean: 6.0,
+                branch_sites: 256,
+                branch_predictability: 0.97,
+                code_bytes: 8 << 10,
+                data_bytes: 8 << 20,
+                locality: 0.75,
+                hot_fraction: 0.001,
+                streaming: true,
+                phase_period: 100_000,
+                phase_amplitude: 0.15,
+            },
+            // su2cor: quantum physics FP code, moderate ILP.
+            Benchmark::Su2cor => BenchProfile {
+                name: "su2cor".into(),
+                mix: ClassMix {
+                    int_alu: 0.22,
+                    int_mul: 0.02,
+                    fp_add: 0.18,
+                    fp_mul: 0.15,
+                    fp_div: 0.02,
+                    load: 0.26,
+                    store: 0.08,
+                    branch: 0.07,
+                },
+                dep_mean: 4.5,
+                branch_sites: 700,
+                branch_predictability: 0.94,
+                code_bytes: 40 << 10,
+                data_bytes: 2 << 20,
+                locality: 0.85,
+                hot_fraction: 0.004,
+                streaming: false,
+                phase_period: 60_000,
+                phase_amplitude: 0.30,
+            },
+            // turb3d: turbulence FFT code, mixed int/FP.
+            Benchmark::Turb3d => BenchProfile {
+                name: "turb3d".into(),
+                mix: ClassMix {
+                    int_alu: 0.26,
+                    int_mul: 0.02,
+                    fp_add: 0.19,
+                    fp_mul: 0.14,
+                    fp_div: 0.01,
+                    load: 0.21,
+                    store: 0.09,
+                    branch: 0.08,
+                },
+                dep_mean: 5.5,
+                branch_sites: 600,
+                branch_predictability: 0.94,
+                code_bytes: 24 << 10,
+                data_bytes: 1536 << 10,
+                locality: 0.85,
+                hot_fraction: 0.005,
+                streaming: true,
+                phase_period: 50_000,
+                phase_amplitude: 0.30,
+            },
+            // gcc: big branchy integer code, large instruction footprint.
+            Benchmark::Gcc => BenchProfile {
+                name: "gcc".into(),
+                mix: ClassMix {
+                    int_alu: 0.44,
+                    int_mul: 0.01,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.24,
+                    store: 0.10,
+                    branch: 0.16,
+                },
+                dep_mean: 2.8,
+                branch_sites: 3000,
+                branch_predictability: 0.88,
+                code_bytes: 192 << 10,
+                data_bytes: 512 << 10,
+                locality: 0.88,
+                hot_fraction: 0.016,
+                streaming: false,
+                phase_period: 40_000,
+                phase_amplitude: 0.20,
+            },
+            // go: the branchiest SPEC95 integer code; poor predictability.
+            Benchmark::Go => BenchProfile {
+                name: "go".into(),
+                mix: ClassMix {
+                    int_alu: 0.47,
+                    int_mul: 0.01,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.21,
+                    store: 0.08,
+                    branch: 0.18,
+                },
+                dep_mean: 2.3,
+                branch_sites: 4000,
+                branch_predictability: 0.72,
+                code_bytes: 64 << 10,
+                data_bytes: 256 << 10,
+                locality: 0.90,
+                hot_fraction: 0.031,
+                streaming: false,
+                phase_period: 30_000,
+                phase_amplitude: 0.15,
+            },
+            // IS: NPB integer sort, huge scattered footprint, memory bound.
+            Benchmark::Is => BenchProfile {
+                name: "is".into(),
+                mix: ClassMix {
+                    int_alu: 0.36,
+                    int_mul: 0.01,
+                    fp_add: 0.0,
+                    fp_mul: 0.0,
+                    fp_div: 0.0,
+                    load: 0.33,
+                    store: 0.17,
+                    branch: 0.08,
+                },
+                dep_mean: 4.5,
+                branch_sites: 300,
+                branch_predictability: 0.95,
+                code_bytes: 8 << 10,
+                data_bytes: 16 << 20,
+                locality: 0.90,
+                hot_fraction: 0.0005,
+                streaming: false,
+                phase_period: 80_000,
+                phase_amplitude: 0.10,
+            },
+            // CG: NPB conjugate gradient, irregular sparse-matrix accesses.
+            Benchmark::Cg => BenchProfile {
+                name: "cg".into(),
+                mix: ClassMix {
+                    int_alu: 0.28,
+                    int_mul: 0.01,
+                    fp_add: 0.16,
+                    fp_mul: 0.13,
+                    fp_div: 0.01,
+                    load: 0.30,
+                    store: 0.05,
+                    branch: 0.06,
+                },
+                dep_mean: 4.5,
+                branch_sites: 400,
+                branch_predictability: 0.94,
+                code_bytes: 12 << 10,
+                data_bytes: 8 << 20,
+                locality: 0.88,
+                hot_fraction: 0.001,
+                streaming: false,
+                phase_period: 60_000,
+                phase_amplitude: 0.15,
+            },
+            // EP: NPB embarrassingly parallel — compute bound, cache resident.
+            Benchmark::Ep => BenchProfile {
+                name: "ep".into(),
+                mix: ClassMix {
+                    int_alu: 0.24,
+                    int_mul: 0.02,
+                    fp_add: 0.25,
+                    fp_mul: 0.25,
+                    fp_div: 0.04,
+                    load: 0.11,
+                    store: 0.03,
+                    branch: 0.06,
+                },
+                dep_mean: 7.0,
+                branch_sites: 200,
+                branch_predictability: 0.97,
+                code_bytes: 8 << 10,
+                data_bytes: 64 << 10,
+                locality: 0.95,
+                hot_fraction: 0.125,
+                streaming: false,
+                phase_period: 150_000,
+                phase_amplitude: 0.05,
+            },
+            // FT: NPB 3-D FFT, large strided footprint.
+            Benchmark::Ft => BenchProfile {
+                name: "ft".into(),
+                mix: ClassMix {
+                    int_alu: 0.18,
+                    int_mul: 0.02,
+                    fp_add: 0.23,
+                    fp_mul: 0.22,
+                    fp_div: 0.01,
+                    load: 0.21,
+                    store: 0.08,
+                    branch: 0.05,
+                },
+                dep_mean: 6.0,
+                branch_sites: 350,
+                branch_predictability: 0.96,
+                code_bytes: 16 << 10,
+                data_bytes: 4 << 20,
+                locality: 0.80,
+                hot_fraction: 0.002,
+                streaming: true,
+                phase_period: 70_000,
+                phase_amplitude: 0.25,
+            },
+            // ARRAY: hand-coded parallel prefix over an array.
+            Benchmark::Array => BenchProfile {
+                name: "array".into(),
+                mix: ClassMix {
+                    int_alu: 0.26,
+                    int_mul: 0.0,
+                    fp_add: 0.22,
+                    fp_mul: 0.08,
+                    fp_div: 0.0,
+                    load: 0.27,
+                    store: 0.12,
+                    branch: 0.05,
+                },
+                dep_mean: 5.0,
+                branch_sites: 64,
+                branch_predictability: 0.97,
+                code_bytes: 4 << 10,
+                data_bytes: 2 << 20,
+                locality: 0.75,
+                hot_fraction: 0.004,
+                streaming: true,
+                phase_period: 0,
+                phase_amplitude: 0.0,
+            },
+        }
+    }
+
+    /// Builds a single-threaded synthetic stream of this benchmark.
+    pub fn stream(self, id: StreamId, seed: u64) -> Box<SyntheticStream> {
+        Box::new(SyntheticStream::new(self.profile(), id, seed))
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_validate() {
+        for b in Benchmark::ALL {
+            b.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.name()), Some(b));
+            assert_eq!(Benchmark::parse(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("nonesuch"), None);
+    }
+
+    #[test]
+    fn integer_codes_have_no_fp() {
+        for b in [Benchmark::Gcc, Benchmark::Go, Benchmark::Is] {
+            assert_eq!(b.profile().mix.fp_fraction(), 0.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn fp_codes_are_fp_heavy() {
+        for b in [Benchmark::Fp, Benchmark::Mg, Benchmark::Swim, Benchmark::Ep] {
+            assert!(b.profile().mix.fp_fraction() > 0.3, "{b}");
+        }
+    }
+
+    #[test]
+    fn footprints_are_diverse() {
+        let small = Benchmark::Fp.profile().data_bytes;
+        let large = Benchmark::Is.profile().data_bytes;
+        assert!(large > 50 * small, "IS must dwarf fpppp's working set");
+    }
+}

@@ -1,0 +1,61 @@
+//! Hierarchical symbiosis (§7): when jobs are multithreaded and the compiler
+//! can adapt to the number of contexts, the scheduler gains a second degree
+//! of freedom — how many hardware contexts to give each parallel job.
+//!
+//! This example reproduces the paper's inline study: EP and ARRAY sharing a
+//! 3-context machine (who deserves the extra context?), and then the full
+//! Figure 4 flow at SMT level 2.
+//!
+//! Run with: `cargo run --release --example hierarchical`
+
+use smt_symbiosis::sos::hier::{allocations, evaluate_hierarchical_mix};
+use smt_symbiosis::sos::sos::SosConfig;
+use smt_symbiosis::workloads::jobmix::SyncStyle;
+use smt_symbiosis::workloads::{Benchmark, JobSpec};
+
+fn main() {
+    let cfg = SosConfig {
+        cycle_scale: 2_000,
+        ..SosConfig::default()
+    };
+
+    // The paper's §7 example: multithreaded ARRAY and EP on an SMT level 3
+    // machine. The scheduler may give 2 contexts to ARRAY and 1 to EP, or
+    // vice versa.
+    let mix = vec![
+        JobSpec::parallel(Benchmark::Array, 2, SyncStyle::Tight),
+        JobSpec::parallel(Benchmark::Ep, 2, SyncStyle::None),
+    ];
+    println!("context allocations considered for ARRAY + EP:");
+    for alloc in allocations(&mix) {
+        println!("  ARRAY gets {}, EP gets {}", alloc[0], alloc[1]);
+    }
+
+    let report = evaluate_hierarchical_mix(&mix, 3, 3, &cfg);
+    println!("\n(allocation, schedule) outcomes on a 3-context machine:");
+    for o in &report.outcomes {
+        println!(
+            "  ARRAY:{} EP:{}  schedule {:<12} WS {:.3}",
+            o.threads_per_job[0], o.threads_per_job[1], o.notation, o.ws
+        );
+    }
+    let pick = &report.outcomes[report.score_pick];
+    println!(
+        "\npredicted pick: ARRAY:{} EP:{} (WS {:.3}); best {:.3}, average {:.3}, worst {:.3}",
+        pick.threads_per_job[0],
+        pick.threads_per_job[1],
+        pick.ws,
+        report.best_ws(),
+        report.average_ws(),
+        report.worst_ws()
+    );
+
+    // The full Figure 4 flow at SMT level 2 (CG, mt_ARRAY, EP).
+    let fig4 = smt_symbiosis::sos::hier::evaluate_hierarchical(2, 3, &cfg);
+    println!(
+        "\nFigure 4 @ SMT 2: picked WS {:.3} — {:+.1}% over average, {:+.1}% over worst",
+        fig4.picked_ws(),
+        fig4.improvement_over_average(),
+        fig4.improvement_over_worst()
+    );
+}

@@ -1,0 +1,42 @@
+//! Open system: jobs arrive with exponential interarrival times and leave
+//! when done; compare SOS against the naive arrival-order scheduler on the
+//! same arrival trace (§9 of the paper).
+//!
+//! Run with: `cargo run --release --example open_system`
+
+use smt_symbiosis::sos::opensys::{
+    arrival_trace, calibrate_benchmarks, run_open_system_on_trace, OpenSystemConfig, SchedulerKind,
+};
+
+fn main() {
+    let mut cfg = OpenSystemConfig::scaled(3); // SMT level 3
+    cfg.num_jobs = 40;
+
+    println!(
+        "SMT {}, mean job length {} cycles, mean interarrival {} cycles, {} jobs",
+        cfg.smt, cfg.mean_job_cycles, cfg.mean_interarrival, cfg.num_jobs
+    );
+
+    let solo = calibrate_benchmarks(cfg.smt, 30_000, cfg.seed);
+    let trace = arrival_trace(&cfg, &solo);
+    println!("first arrivals:");
+    for a in trace.iter().take(5) {
+        println!(
+            "  t={:>9}  {:<7} {:>9} instructions",
+            a.arrival,
+            a.benchmark.name(),
+            a.instructions
+        );
+    }
+
+    let naive = run_open_system_on_trace(SchedulerKind::Naive, &cfg, &trace);
+    let sos = run_open_system_on_trace(SchedulerKind::Sos, &cfg, &trace);
+
+    println!("\nmean response time:");
+    println!("  naive {:>12.0} cycles", naive.mean_response());
+    println!("  SOS   {:>12.0} cycles", sos.mean_response());
+    println!(
+        "  improvement: {:.1}%",
+        100.0 * (naive.mean_response() - sos.mean_response()) / naive.mean_response()
+    );
+}

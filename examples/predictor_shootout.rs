@@ -1,0 +1,43 @@
+//! Predictor shootout: run the paper's Jsb(6,3,3) protocol and rank the ten
+//! dynamic predictors by the weighted speedup of the schedule they pick.
+//!
+//! Run with: `cargo run --release --example predictor_shootout`
+
+use smt_symbiosis::sos::sos::{SosConfig, SosScheduler};
+use smt_symbiosis::sos::ExperimentSpec;
+
+fn main() {
+    let spec: ExperimentSpec = "Jsb(6,3,3)".parse().expect("valid label");
+    let cfg = SosConfig {
+        cycle_scale: 2_000,
+        ..SosConfig::default()
+    };
+
+    println!("evaluating {spec} (all 10 schedules, sample then symbios) ...");
+    let report = SosScheduler::evaluate_experiment(&spec, &cfg);
+
+    println!("\nschedules by symbios weighted speedup:");
+    let mut by_ws: Vec<(usize, f64)> = report.symbios_ws.iter().copied().enumerate().collect();
+    by_ws.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (i, ws) in &by_ws {
+        println!("  {:<9} WS {:.3}", report.candidates[*i], ws);
+    }
+
+    println!("\npredictors ranked by the WS of their pick:");
+    let mut picks = report.picks.clone();
+    picks.sort_by(|a, b| report.symbios_ws[b.1].total_cmp(&report.symbios_ws[a.1]));
+    for (p, idx) in picks {
+        println!(
+            "  {:<10} picked {:<9} WS {:.3}",
+            p.name(),
+            report.candidates[idx],
+            report.symbios_ws[idx]
+        );
+    }
+    println!(
+        "\nbest {:.3}, average {:.3}, worst {:.3}",
+        report.best_ws(),
+        report.average_ws(),
+        report.worst_ws()
+    );
+}

@@ -1,0 +1,16 @@
+//! # smt-symbiosis — umbrella crate
+//!
+//! Re-exports the three layers of the reproduction of *Symbiotic
+//! Jobscheduling for a Simultaneous Multithreading Processor* (ASPLOS 2000):
+//!
+//! * [`smtsim`] — the cycle-level SMT processor simulator,
+//! * [`workloads`] — synthetic SPEC95/NPB benchmark models,
+//! * [`sos`] — the SOS scheduler, predictors, and experiment runners
+//!   (the `sos-core` crate).
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `sos-bench` crate for the per-table/figure reproduction harness.
+
+pub use smtsim;
+pub use sos_core as sos;
+pub use workloads;

@@ -1,0 +1,58 @@
+//! Smoke tests for the `sos` command-line driver.
+
+use std::process::Command;
+
+fn sos(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_sos"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn schedules_enumerates_the_papers_ten() {
+    let out = sos(&["schedules", "6", "3", "3"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("10 distinct schedules"), "{text}");
+    assert!(text.contains("012_345"), "{text}");
+    assert!(text.contains("045_123"), "{text}");
+}
+
+#[test]
+fn schedules_counts_large_spaces_without_listing() {
+    let out = sos(&["schedules", "8", "4", "1"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2520 distinct schedules"), "{text}");
+    assert!(!text.contains('_'), "large spaces are not listed: {text}");
+}
+
+#[test]
+fn help_succeeds() {
+    assert!(sos(&["help"]).status.success());
+    assert!(sos(&[]).status.success());
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = sos(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unsupported_shape_rejected() {
+    let out = sos(&["schedules", "4", "3", "2"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("swap-all") || err.contains("swap-one"),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_experiment_label_rejected() {
+    let out = sos(&["run", "Jxx(1,2,3)"]);
+    assert_eq!(out.status.code(), Some(2));
+}

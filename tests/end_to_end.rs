@@ -1,0 +1,95 @@
+//! Integration tests spanning all three crates: workloads feeding the
+//! simulator under the SOS scheduler's control.
+
+use smt_symbiosis::sos::job::JobPool;
+use smt_symbiosis::sos::runner::Runner;
+use smt_symbiosis::sos::schedule::Schedule;
+use smt_symbiosis::sos::sos::{SosConfig, SosScheduler};
+use smt_symbiosis::sos::ExperimentSpec;
+use smt_symbiosis::workloads::{Benchmark, JobSpec};
+use smtsim::MachineConfig;
+
+fn quick_cfg() -> SosConfig {
+    SosConfig {
+        cycle_scale: 25_000,
+        calibration_cycles: 12_000,
+        ..SosConfig::default()
+    }
+}
+
+#[test]
+fn full_experiment_protocol_runs_and_orders_sanely() {
+    let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+    let report = SosScheduler::evaluate_experiment(&spec, &quick_cfg());
+    assert_eq!(report.candidates.len(), 3);
+    assert!(
+        report.worst_ws() > 0.5,
+        "even the worst schedule makes progress"
+    );
+    assert!(report.best_ws() < 4.0, "WS bounded by machine width");
+    assert!(report.best_ws() >= report.average_ws());
+    assert!(report.average_ws() >= report.worst_ws());
+}
+
+#[test]
+fn experiment_is_deterministic_across_processes_inputs() {
+    let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+    let a = SosScheduler::evaluate_experiment(&spec, &quick_cfg());
+    let b = SosScheduler::evaluate_experiment(&spec, &quick_cfg());
+    assert_eq!(a.symbios_ws, b.symbios_ws);
+    assert_eq!(a.candidates, b.candidates);
+}
+
+#[test]
+fn coscheduling_diverse_jobs_beats_time_sharing() {
+    // FP (fp-heavy, high ILP) + GO (branchy integer): a diverse pair should
+    // exceed WS 1 — the core premise of SMT coscheduling.
+    let pool = JobPool::from_specs(
+        &[
+            JobSpec::single(Benchmark::Fp),
+            JobSpec::single(Benchmark::Go),
+        ],
+        11,
+    );
+    let mut runner = Runner::new(MachineConfig::alpha21264_like(2), pool, 5_000);
+    let solo = runner.calibrate_solo(60_000, 60_000);
+    let schedule = Schedule::new(vec![0, 1], 2, 2);
+    let _ = runner.run_schedule(&schedule, 4); // warm up
+    let rots = runner.run_schedule(&schedule, 20);
+    let cycles: u64 = rots.iter().map(|r| r.cycles()).sum();
+    let mut committed = vec![0u64; 2];
+    for rot in &rots {
+        for (t, c) in rot.committed_per_thread(2).iter().enumerate() {
+            committed[t] += c;
+        }
+    }
+    let ws = smt_symbiosis::sos::ws::weighted_speedup(&committed, cycles, &solo);
+    assert!(
+        ws > 1.1,
+        "diverse coschedule should show real symbiosis, got {ws}"
+    );
+}
+
+#[test]
+fn schedule_choice_changes_throughput() {
+    // Jsb(4,2,2): the schedule pairing FP+MG (two FP codes) and GCC+IS (two
+    // memory-hungry integer codes) should differ measurably from a mixed one.
+    let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+    let report = SosScheduler::evaluate_experiment(&spec, &quick_cfg());
+    let spread = report.best_ws() / report.worst_ws();
+    assert!(
+        spread > 1.02,
+        "schedules must differ by more than noise: spread {spread}"
+    );
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The umbrella crate exposes all three layers.
+    let cfg = smtsim::MachineConfig::alpha21264_like(2);
+    assert_eq!(cfg.contexts, 2);
+    let b = smt_symbiosis::workloads::Benchmark::parse("gcc").unwrap();
+    assert_eq!(b.name(), "GCC");
+    let spec: smt_symbiosis::sos::ExperimentSpec = "Jsb(6,3,3)".parse().unwrap();
+    assert_eq!(spec.distinct_schedules(), 10);
+}

@@ -1,0 +1,88 @@
+//! Tests that pin the analytically-reproducible artifacts of the paper:
+//! Table 2 and the structural claims of §3.
+
+use smt_symbiosis::sos::enumerate::{count_distinct, enumerate_all};
+use smt_symbiosis::sos::ExperimentSpec;
+
+#[test]
+fn table2_column2_exactly() {
+    let expected: [(&str, u128); 13] = [
+        ("Jsb(4,2,2)", 3),
+        ("Jsb(5,2,2)", 12),
+        ("Jsb(5,2,1)", 12),
+        ("Jpb(10,2,2)", 945),
+        ("J2pb(10,2,2)", 945),
+        ("Jsb(6,3,3)", 10),
+        ("Jsb(6,3,1)", 60),
+        ("Jsl(6,3,1)", 60),
+        ("Jsb(8,4,4)", 35),
+        ("Jsb(8,4,1)", 2520),
+        ("Jsl(8,4,1)", 2520),
+        ("Jsb(12,4,4)", 5775),
+        ("Jsb(12,6,6)", 462),
+    ];
+    for (label, count) in expected {
+        let spec: ExperimentSpec = label.parse().unwrap();
+        assert_eq!(spec.distinct_schedules(), count, "{label}");
+    }
+}
+
+#[test]
+fn table2_column3_to_the_million() {
+    let expected: [(&str, u64); 13] = [
+        ("Jsb(4,2,2)", 30),
+        ("Jsb(5,2,2)", 250),
+        ("Jsb(5,2,1)", 250),
+        ("Jpb(10,2,2)", 250),
+        ("J2pb(10,2,2)", 250),
+        ("Jsb(6,3,3)", 100),
+        ("Jsb(6,3,1)", 300),
+        ("Jsl(6,3,1)", 100),
+        ("Jsb(8,4,4)", 100),
+        ("Jsb(8,4,1)", 400),
+        ("Jsl(8,4,1)", 100),
+        ("Jsb(12,4,4)", 150),
+        ("Jsb(12,6,6)", 100),
+    ];
+    for (label, millions) in expected {
+        let spec: ExperimentSpec = label.parse().unwrap();
+        let got = (spec.paper_sample_cycles() as f64 / 1e6).round() as u64;
+        assert_eq!(got, millions, "{label}");
+    }
+}
+
+#[test]
+fn all_thirteen_jobmixes_have_computational_diversity() {
+    // Each jobmix must combine FP-heavy and integer-heavy codes, as §3 says.
+    for spec in ExperimentSpec::all_paper_experiments() {
+        let mix = spec.jobmix();
+        let has_fp = mix
+            .iter()
+            .any(|j| j.benchmark.profile().mix.fp_fraction() > 0.3);
+        let has_int = mix
+            .iter()
+            .any(|j| j.benchmark.profile().mix.fp_fraction() == 0.0);
+        assert!(has_fp && has_int, "{spec}: jobmix lacks diversity");
+    }
+}
+
+#[test]
+fn exhaustive_enumerations_match_closed_forms() {
+    for (x, y, z) in [(4, 2, 2), (5, 2, 2), (6, 3, 3), (6, 3, 1), (8, 4, 4)] {
+        assert_eq!(
+            enumerate_all(x, y, z).len() as u128,
+            count_distinct(x, y, z),
+            "({x},{y},{z})"
+        );
+    }
+}
+
+#[test]
+fn schedule_identity_matches_paper_convention() {
+    use smt_symbiosis::sos::schedule::Schedule;
+    // "We consider jobschedules to be identical if they coschedule the same
+    // tuples regardless of the order in which the tuples are scheduled."
+    let a = Schedule::new(vec![0, 1, 2, 3, 4, 5], 3, 3); // 012_345
+    let b = Schedule::new(vec![5, 4, 3, 2, 1, 0], 3, 3); // 345_012 reversed
+    assert_eq!(a.canonical_key(), b.canonical_key());
+}

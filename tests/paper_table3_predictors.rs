@@ -1,0 +1,126 @@
+//! Runs our predictor implementations over the paper's *own* Table 3 data
+//! (the sample-phase counter values and symbios-phase weighted speedups the
+//! paper reports for Jsb(6,3,3)) and checks that they reproduce the paper's
+//! findings about which predictors work.
+
+use smt_symbiosis::sos::predictor::PredictorKind;
+use smt_symbiosis::sos::sample::ScheduleSample;
+
+/// One Table 3 row: (schedule, IPC, AllConf, Dcache, FQ, FP, Sum2,
+/// Diversity, Balance, symbios WS(t)).
+type Table3Row = (&'static str, f64, f64, f64, f64, f64, f64, f64, f64, f64);
+
+/// The paper's Table 3, verbatim.
+#[rustfmt::skip]
+const TABLE3: [Table3Row; 10] = [
+    ("012_345", 3.007, 146.14, 97.5, 37.04, 17.36, 54.40, 0.15, 0.24, 1.38),
+    ("013_245", 3.266, 146.60, 97.5,  9.68, 31.66, 41.34, 0.18, 0.10, 1.56),
+    ("014_325", 2.865, 129.52, 97.5, 20.77, 16.74, 37.51, 0.17, 0.61, 1.57),
+    ("015_342", 3.223, 147.72, 97.6,  9.06, 32.09, 41.15, 0.18, 0.86, 1.52),
+    ("023_145", 3.321, 146.14, 98.1,  7.51, 28.93, 36.44, 0.18, 0.27, 1.59),
+    ("024_315", 3.462, 140.40, 97.4,  8.60, 17.73, 26.33, 0.18, 0.21, 1.60),
+    ("025_341", 3.453, 140.07, 97.4,  6.69, 16.82, 23.51, 0.17, 0.55, 1.55),
+    ("034_125", 3.280, 140.52, 97.6,  7.61, 22.73, 30.34, 0.18, 1.34, 1.53),
+    ("035_124", 3.333, 139.82, 97.4,  6.42, 21.70, 28.12, 0.17, 0.52, 1.58),
+    ("045_123", 3.532, 158.45, 97.9,  6.80, 31.02, 37.82, 0.16, 0.13, 1.59),
+];
+
+fn samples() -> Vec<ScheduleSample> {
+    TABLE3
+        .iter()
+        .map(
+            |&(n, ipc, allconf, dcache, fq, fp, sum2, diversity, balance, _)| ScheduleSample {
+                notation: n.into(),
+                ipc,
+                allconf,
+                dcache,
+                fq,
+                fp,
+                sum2,
+                diversity,
+                balance,
+            },
+        )
+        .collect()
+}
+
+fn ws_of_pick(p: PredictorKind) -> f64 {
+    TABLE3[p.choose(&samples())].9
+}
+
+const BEST_WS: f64 = 1.60;
+const WORST_WS: f64 = 1.38;
+
+#[test]
+fn ipc_dcache_fq_land_within_two_percent_of_best() {
+    // "IPC, Dcache, FQ, Composite, and Score all achieved within 2% of the
+    // best schedule."
+    for p in [PredictorKind::Ipc, PredictorKind::Dcache, PredictorKind::Fq] {
+        let ws = ws_of_pick(p);
+        assert!(
+            ws >= BEST_WS * 0.98,
+            "{p} picked WS {ws}, not within 2% of best {BEST_WS}"
+        );
+    }
+}
+
+#[test]
+fn diversity_picks_the_worst_schedule_on_paper_data() {
+    // "all but one of the predictors (Diversity) avoided the worst schedule."
+    assert_eq!(ws_of_pick(PredictorKind::Diversity), WORST_WS);
+}
+
+#[test]
+fn every_other_predictor_avoids_the_worst() {
+    for p in PredictorKind::ALL {
+        if p == PredictorKind::Diversity {
+            continue;
+        }
+        let ws = ws_of_pick(p);
+        assert!(
+            ws > WORST_WS,
+            "{p} should avoid the worst schedule, got WS {ws}"
+        );
+    }
+}
+
+#[test]
+fn all_picks_beat_or_match_the_sample_average() {
+    let avg: f64 = TABLE3.iter().map(|r| r.9).sum::<f64>() / 10.0;
+    // On the paper's data, the strong predictors clear the average (1.547).
+    for p in [
+        PredictorKind::Ipc,
+        PredictorKind::Dcache,
+        PredictorKind::Fq,
+        PredictorKind::Score,
+    ] {
+        let ws = ws_of_pick(p);
+        assert!(ws >= avg, "{p}: WS {ws} below average {avg}");
+    }
+}
+
+#[test]
+fn score_is_a_majority_vote_over_the_paper_rows() {
+    // Score must pick a schedule at least one voter picked.
+    let s = samples();
+    let score_pick = PredictorKind::Score.choose(&s);
+    let voter_picks: Vec<usize> = PredictorKind::VOTERS.iter().map(|p| p.choose(&s)).collect();
+    assert!(
+        voter_picks.contains(&score_pick),
+        "Score picked {score_pick}, voters picked {voter_picks:?}"
+    );
+}
+
+#[test]
+fn per_column_extremes_match_the_papers_bold_entries() {
+    let s = samples();
+    // The paper bolds the best value in each column.
+    assert_eq!(s[PredictorKind::Ipc.choose(&s)].notation, "045_123");
+    assert_eq!(s[PredictorKind::AllConf.choose(&s)].notation, "014_325");
+    assert_eq!(s[PredictorKind::Dcache.choose(&s)].notation, "023_145");
+    assert_eq!(s[PredictorKind::Fq.choose(&s)].notation, "035_124");
+    assert_eq!(s[PredictorKind::Fp.choose(&s)].notation, "014_325");
+    assert_eq!(s[PredictorKind::Sum2.choose(&s)].notation, "025_341");
+    assert_eq!(s[PredictorKind::Diversity.choose(&s)].notation, "012_345");
+    assert_eq!(s[PredictorKind::Balance.choose(&s)].notation, "013_245");
+}

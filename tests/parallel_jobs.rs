@@ -1,0 +1,114 @@
+//! Integration tests for parallel (multithreaded) jobs: the §6 coscheduling
+//! pathology end to end.
+
+use smt_symbiosis::sos::job::JobPool;
+use smt_symbiosis::sos::runner::Runner;
+use smt_symbiosis::sos::schedule::Schedule;
+use smt_symbiosis::workloads::jobmix::SyncStyle;
+use smt_symbiosis::workloads::{Benchmark, JobSpec};
+use smtsim::MachineConfig;
+
+/// Pool: the two threads of a tight-sync ARRAY plus two single-threaded jobs.
+fn pool(sync: SyncStyle) -> JobPool {
+    JobPool::from_specs(
+        &[
+            JobSpec::parallel(Benchmark::Array, 2, sync), // threads 0, 1
+            JobSpec::single(Benchmark::Fp),               // thread 2
+            JobSpec::single(Benchmark::Gcc),              // thread 3
+        ],
+        21,
+    )
+}
+
+fn array_progress(schedule: &Schedule, sync: SyncStyle) -> u64 {
+    let mut runner = Runner::new(MachineConfig::alpha21264_like(2), pool(sync), 5_000);
+    let rots = runner.run_schedule(schedule, 10);
+    let mut total = 0;
+    for rot in &rots {
+        let per = rot.committed_per_thread(4);
+        total += per[0] + per[1];
+    }
+    total
+}
+
+#[test]
+fn tight_sync_array_needs_coscheduling() {
+    // Schedule pairing the ARRAY siblings (01_23) vs one splitting them
+    // (02_13).
+    let paired = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+    let split = Schedule::new(vec![0, 2, 1, 3], 2, 2);
+    let paired_progress = array_progress(&paired, SyncStyle::Tight);
+    let split_progress = array_progress(&split, SyncStyle::Tight);
+    assert!(
+        paired_progress > 5 * split_progress.max(1),
+        "splitting a tightly-synchronizing job must be catastrophic: {paired_progress} vs {split_progress}"
+    );
+}
+
+#[test]
+fn loose_sync_array_tolerates_splitting() {
+    let paired = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+    let split = Schedule::new(vec![0, 2, 1, 3], 2, 2);
+    let paired_progress = array_progress(&paired, SyncStyle::Loose);
+    let split_progress = array_progress(&split, SyncStyle::Loose);
+    // Within a factor of two either way: splitting is no longer fatal.
+    assert!(
+        split_progress * 2 > paired_progress,
+        "loose sync should tolerate splitting: {paired_progress} vs {split_progress}"
+    );
+}
+
+#[test]
+fn split_tight_array_reports_blocked_cycles() {
+    let split = Schedule::new(vec![0, 2, 1, 3], 2, 2);
+    let mut runner = Runner::new(
+        MachineConfig::alpha21264_like(2),
+        pool(SyncStyle::Tight),
+        5_000,
+    );
+    let rots = runner.run_schedule(&split, 5);
+    let blocked: u64 = rots
+        .iter()
+        .flat_map(|r| r.slices.iter())
+        .flat_map(|s| s.threads.iter())
+        .map(|t| t.blocked_cycles)
+        .sum();
+    assert!(blocked > 0, "the starved sibling must report blocking");
+}
+
+#[test]
+fn hierarchical_allocation_changes_array_throughput() {
+    // ARRAY with 2 threads on a 2-context machine finishes work faster than
+    // ARRAY restricted to 1 thread (it is a parallel program).
+    use smt_symbiosis::sos::schedule::Coschedule;
+    let mut two = Runner::new(
+        MachineConfig::alpha21264_like(2),
+        JobPool::from_specs(
+            &[JobSpec::parallel(Benchmark::Array, 2, SyncStyle::Tight)],
+            5,
+        ),
+        5_000,
+    );
+    let both = Coschedule::new([0, 1]);
+    let _ = two.run_tuple(&both, 20_000);
+    let stats2 = two.run_tuple(&both, 50_000);
+    let agg2 = stats2.total_committed();
+
+    let mut one = Runner::new(
+        MachineConfig::alpha21264_like(2),
+        JobPool::from_specs(
+            &[JobSpec::parallel(Benchmark::Array, 1, SyncStyle::Tight)],
+            5,
+        ),
+        5_000,
+    );
+    let solo_tuple = Coschedule::new([0]);
+    let _ = one.run_tuple(&solo_tuple, 20_000);
+    let stats1 = one.run_tuple(&solo_tuple, 50_000);
+    let agg1 = stats1.total_committed();
+
+    assert!(
+        agg2 as f64 > 1.3 * agg1 as f64,
+        "two ARRAY threads should outrun one: {agg2} vs {agg1}"
+    );
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, exercised through the public API.
+
+use proptest::prelude::*;
+use smt_symbiosis::sos::enumerate::{count_distinct, random_schedule};
+use smt_symbiosis::sos::schedule::Schedule;
+use smt_symbiosis::sos::ws::{weighted_speedup, SoloRates};
+use smt_symbiosis::workloads::SyntheticStream;
+use smtsim::cache::Cache;
+use smtsim::trace::{Fetch, InstructionSource, StreamId};
+use smtsim::CacheConfig;
+
+/// A valid (x, y, z) experiment shape using one of the paper's swap
+/// disciplines: swap-all (z == y) or swap-one (z == 1).
+fn shape() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..10).prop_flat_map(|x| {
+        (1usize..=x).prop_flat_map(move |y| prop_oneof![Just((x, y, y)), Just((x, y, 1))])
+    })
+}
+
+proptest! {
+    #[test]
+    fn schedules_are_always_fair_coverings((x, y, z) in shape(), seed in any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let s = random_schedule(x, y, z, &mut rng);
+        prop_assert!(s.is_fair_covering());
+        // Every tuple has exactly min(y, x) threads.
+        for t in s.tuples() {
+            prop_assert_eq!(t.len(), y.min(x));
+        }
+    }
+
+    #[test]
+    fn canonical_key_is_invariant_under_z_rotations_and_reflection(
+        (x, y, z) in shape(),
+        rot in 0usize..10,
+        reflect in any::<bool>(),
+    ) {
+        // Rotating the circular order by a multiple of z maps coschedules to
+        // coschedules; so does reversing it (for fair shapes).
+        let order: Vec<usize> = (0..x).collect();
+        let mut other = order.clone();
+        other.rotate_left((rot * z) % x);
+        if reflect {
+            other.reverse();
+        }
+        let a = Schedule::new(order, y, z);
+        let b = Schedule::new(other, y, z);
+        prop_assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn distinct_count_is_positive_and_one_when_everyone_fits(
+        (x, y, z) in shape(),
+    ) {
+        let n = count_distinct(x, y, z);
+        prop_assert!(n >= 1);
+        if y == x {
+            prop_assert_eq!(n, 1);
+        }
+    }
+
+    #[test]
+    fn ws_is_scale_invariant_in_time(
+        rates in proptest::collection::vec(0.1f64..4.0, 1..6),
+        committed in proptest::collection::vec(0u64..100_000, 1..6),
+        k in 1u64..8,
+    ) {
+        let n = rates.len().min(committed.len());
+        let solo = SoloRates::new(rates[..n].to_vec());
+        let c = &committed[..n];
+        let base = weighted_speedup(c, 1_000_000, &solo);
+        // k× the cycles and k× the work leave WS unchanged.
+        let scaled: Vec<u64> = c.iter().map(|x| x * k).collect();
+        let scaled_ws = weighted_speedup(&scaled, 1_000_000 * k, &solo);
+        prop_assert!((base - scaled_ws).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ws_is_monotone_in_progress(
+        rates in proptest::collection::vec(0.1f64..4.0, 2..5),
+        bump in 1u64..50_000,
+    ) {
+        let solo = SoloRates::new(rates.clone());
+        let base: Vec<u64> = rates.iter().map(|_| 10_000).collect();
+        let mut more = base.clone();
+        more[0] += bump;
+        let a = weighted_speedup(&base, 100_000, &solo);
+        let b = weighted_speedup(&more, 100_000, &solo);
+        prop_assert!(b > a);
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(addrs in proptest::collection::vec(any::<u64>(), 1..500)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 64, assoc: 2, hit_latency: 1 });
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.resident_lines() <= c.capacity_lines());
+        }
+    }
+
+    #[test]
+    fn cache_hits_after_access(addr in any::<u64>()) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, assoc: 2, hit_latency: 1 });
+        c.access(addr);
+        prop_assert!(c.probe(addr));
+        prop_assert!(c.access(addr));
+    }
+
+    #[test]
+    fn synthetic_streams_are_deterministic_functions_of_seed(
+        seed in any::<u64>(),
+        n in 1usize..2_000,
+    ) {
+        let profile = smt_symbiosis::workloads::Benchmark::Gcc.profile();
+        let mut a = SyntheticStream::new(profile.clone(), StreamId(3), seed);
+        let mut b = SyntheticStream::new(profile, StreamId(3), seed);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn limited_streams_produce_exactly_their_limit(limit in 1u64..3_000) {
+        let profile = smt_symbiosis::workloads::Benchmark::Ep.profile();
+        let mut s = SyntheticStream::new(profile, StreamId(1), 9).with_limit(limit);
+        let mut produced = 0u64;
+        loop {
+            match s.next_instr() {
+                Fetch::Instr(_) => produced += 1,
+                Fetch::Finished => break,
+                Fetch::Blocked => unreachable!("synthetic streams never block"),
+            }
+            prop_assert!(produced <= limit);
+        }
+        prop_assert_eq!(produced, limit);
+    }
+}
+
+use rand::SeedableRng;

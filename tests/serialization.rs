@@ -1,0 +1,109 @@
+//! Serde round-trips for the public data-structure types (C-SERDE): configs,
+//! specs, samples, and results survive JSON serialization unchanged.
+
+use smt_symbiosis::sos::opensys::{JobArrival, OpenSystemConfig};
+use smt_symbiosis::sos::sample::ScheduleSample;
+use smt_symbiosis::sos::schedule::{Coschedule, Schedule};
+use smt_symbiosis::sos::sos::SosConfig;
+use smt_symbiosis::sos::{ExperimentSpec, PredictorKind};
+use smt_symbiosis::workloads::jobmix::SyncStyle;
+use smt_symbiosis::workloads::{BenchProfile, Benchmark, JobSpec};
+use smtsim::{ConflictCounters, MachineConfig, TimesliceStats};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn machine_config_round_trips() {
+    let cfg = MachineConfig::alpha21264_like(4);
+    assert_eq!(round_trip(&cfg), cfg);
+}
+
+#[test]
+fn bench_profiles_round_trip() {
+    for b in Benchmark::ALL {
+        let p: BenchProfile = b.profile();
+        assert_eq!(round_trip(&p), p, "{b}");
+    }
+}
+
+#[test]
+fn experiment_specs_round_trip() {
+    for spec in ExperimentSpec::all_paper_experiments() {
+        assert_eq!(round_trip(&spec), spec);
+    }
+}
+
+#[test]
+fn schedules_round_trip() {
+    let s = Schedule::new(vec![3, 1, 4, 0, 2, 5], 3, 3);
+    let back = round_trip(&s);
+    assert_eq!(back, s);
+    assert_eq!(back.paper_notation(), s.paper_notation());
+    let c = Coschedule::new([2, 0, 1]);
+    assert_eq!(round_trip(&c), c);
+}
+
+#[test]
+fn samples_and_counters_round_trip() {
+    let sample = ScheduleSample {
+        notation: "012_345".into(),
+        ipc: 3.2,
+        allconf: 120.5,
+        dcache: 97.5,
+        fq: 9.6,
+        fp: 31.6,
+        sum2: 41.2,
+        diversity: 0.18,
+        balance: 0.1,
+    };
+    assert_eq!(round_trip(&sample), sample);
+    let c = ConflictCounters {
+        fp_queue: 7,
+        int_units: 3,
+        ..Default::default()
+    };
+    assert_eq!(round_trip(&c), c);
+    let t = TimesliceStats {
+        cycles: 5000,
+        ..Default::default()
+    };
+    assert_eq!(round_trip(&t), t);
+}
+
+#[test]
+fn configs_round_trip() {
+    let sos = SosConfig {
+        predictor: PredictorKind::Composite,
+        ..SosConfig::default()
+    };
+    assert_eq!(round_trip(&sos), sos);
+    let open = OpenSystemConfig::scaled(3);
+    assert_eq!(round_trip(&open), open);
+}
+
+#[test]
+fn job_specs_round_trip() {
+    let specs = vec![
+        JobSpec::single(Benchmark::Gcc),
+        JobSpec::parallel(Benchmark::Array, 2, SyncStyle::Tight),
+        JobSpec::parallel(Benchmark::Ep, 3, SyncStyle::None),
+    ];
+    assert_eq!(round_trip(&specs), specs);
+}
+
+#[test]
+fn arrivals_round_trip() {
+    let a = JobArrival {
+        arrival: 123,
+        benchmark: Benchmark::Swim,
+        instructions: 42_000,
+        phased: false,
+    };
+    assert_eq!(round_trip(&a), a);
+}

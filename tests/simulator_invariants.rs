@@ -1,0 +1,91 @@
+//! Property-based invariants of the simulator when driven by arbitrary
+//! benchmark models: conservation laws the hardware counters must obey no
+//! matter the workload.
+
+use proptest::prelude::*;
+use smt_symbiosis::workloads::{Benchmark, SyntheticStream};
+use smtsim::counters::Resource;
+use smtsim::trace::StreamId;
+use smtsim::{MachineConfig, Processor};
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn counters_obey_conservation_laws(
+        benches in proptest::collection::vec(any_benchmark(), 1..4),
+        seed in any::<u64>(),
+        cycles in 2_000u64..8_000,
+    ) {
+        let mut cpu = Processor::new(MachineConfig::alpha21264_like(benches.len()));
+        let mut streams: Vec<SyntheticStream> = benches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u32), seed ^ i as u64))
+            .collect();
+        let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> =
+            streams.iter_mut().map(|s| s as _).collect();
+        let stats = cpu.run_timeslice(&mut refs, cycles);
+
+        // Clock accounting.
+        prop_assert_eq!(stats.cycles, cycles);
+        // Per-resource conflicts are cycle-counts: at most one per cycle.
+        for r in Resource::ALL {
+            prop_assert!(stats.conflicts.get(r) <= cycles, "{r}");
+        }
+        for t in &stats.threads {
+            // Commits never exceed fetches; class counts sum to commits.
+            prop_assert!(t.committed <= t.fetched, "{t:?}");
+            let class_sum: u64 = t.class_counts.iter().sum();
+            prop_assert_eq!(class_sum, t.committed);
+            // A thread cannot commit more than the machine width allows.
+            prop_assert!(t.committed <= cycles * 8);
+        }
+        // Cache hierarchy: misses never exceed references; L2 references are
+        // exactly the L1 misses (no other L2 clients in this model).
+        prop_assert!(stats.cache.dl1_misses <= stats.cache.dl1_refs);
+        prop_assert!(stats.cache.il1_misses <= stats.cache.il1_refs);
+        prop_assert!(stats.cache.l2_misses <= stats.cache.l2_refs);
+        prop_assert_eq!(stats.cache.l2_refs, stats.cache.dl1_misses + stats.cache.il1_misses);
+        // TLB and branch counters.
+        prop_assert!(stats.dtlb.misses <= stats.dtlb.refs);
+        prop_assert!(stats.itlb.misses <= stats.itlb.refs);
+        prop_assert!(stats.branches.mispredicted <= stats.branches.predicted);
+    }
+
+    #[test]
+    fn simulation_is_a_pure_function_of_inputs(
+        bench in any_benchmark(),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let mut cpu = Processor::new(MachineConfig::alpha21264_like(1));
+            let mut s = SyntheticStream::new(bench.profile(), StreamId(0), seed);
+            let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> = vec![&mut s];
+            cpu.run_timeslice(&mut refs, 3_000)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn adding_a_thread_never_reduces_total_throughput_to_zero(
+        a in any_benchmark(),
+        b in any_benchmark(),
+        seed in any::<u64>(),
+    ) {
+        let mut cpu = Processor::new(MachineConfig::alpha21264_like(2));
+        let mut s1 = SyntheticStream::new(a.profile(), StreamId(0), seed);
+        let mut s2 = SyntheticStream::new(b.profile(), StreamId(1), seed ^ 1);
+        let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> = vec![&mut s1, &mut s2];
+        let stats = cpu.run_timeslice(&mut refs, 6_000);
+        prop_assert!(stats.total_committed() > 0);
+        // Both threads make progress under the fair ICOUNT policy.
+        for t in &stats.threads {
+            prop_assert!(t.fetched > 0, "{t:?}");
+        }
+    }
+}

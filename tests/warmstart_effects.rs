@@ -1,0 +1,84 @@
+//! Integration tests for the cold-start effects behind §8's warmstart
+//! scheduling: memory-system state persists across timeslices, flushing it
+//! costs throughput, and longer residency amortizes warm-up.
+
+use smt_symbiosis::sos::job::JobPool;
+use smt_symbiosis::sos::runner::Runner;
+use smt_symbiosis::sos::schedule::Coschedule;
+use smt_symbiosis::workloads::{Benchmark, JobSpec};
+use smtsim::MachineConfig;
+
+fn runner() -> Runner {
+    let pool = JobPool::from_specs(
+        &[
+            JobSpec::single(Benchmark::Gcc),
+            JobSpec::single(Benchmark::Mg),
+        ],
+        3,
+    );
+    Runner::new(MachineConfig::alpha21264_like(2), pool, 5_000)
+}
+
+#[test]
+fn flushing_the_memory_system_costs_throughput() {
+    let mut r = runner();
+    let tuple = Coschedule::new([0, 1]);
+    // Warm up thoroughly.
+    for _ in 0..8 {
+        let _ = r.run_tuple(&tuple, 5_000);
+    }
+    let warm = r.run_tuple(&tuple, 5_000).total_committed();
+    r.processor_mut().flush_memory_state();
+    let cold = r.run_tuple(&tuple, 5_000).total_committed();
+    assert!(
+        cold < warm,
+        "a cold memory system must slow the slice down: warm {warm} vs cold {cold}"
+    );
+}
+
+#[test]
+fn residency_amortizes_cold_start() {
+    // Run the same total cycles as one long residency vs. many re-entries
+    // with flushes in between (an exaggerated worst-case context switch).
+    let mut long = runner();
+    let tuple = Coschedule::new([0, 1]);
+    let mut long_total = 0;
+    for _ in 0..10 {
+        long_total += long.run_tuple(&tuple, 5_000).total_committed();
+    }
+
+    let mut churn = runner();
+    let mut churn_total = 0;
+    for _ in 0..10 {
+        churn.processor_mut().flush_memory_state();
+        churn_total += churn.run_tuple(&tuple, 5_000).total_committed();
+    }
+    assert!(
+        long_total > churn_total,
+        "long residency must beat constant cold starts: {long_total} vs {churn_total}"
+    );
+}
+
+#[test]
+fn swap_one_keeps_survivors_warm() {
+    // With swap-one, job 0 stays resident across consecutive slices; its
+    // second slice should commit more than its first (warm caches), whereas
+    // a full flush in between would reset it.
+    let pool = JobPool::from_specs(
+        &[
+            JobSpec::single(Benchmark::Gcc),
+            JobSpec::single(Benchmark::Mg),
+            JobSpec::single(Benchmark::Wave),
+        ],
+        9,
+    );
+    let mut r = Runner::new(MachineConfig::alpha21264_like(2), pool, 5_000);
+    let first = r.run_tuple(&Coschedule::new([0, 1]), 5_000);
+    let second = r.run_tuple(&Coschedule::new([0, 2]), 5_000);
+    let gcc_first = first.thread(smtsim::StreamId(0)).unwrap().committed;
+    let gcc_second = second.thread(smtsim::StreamId(0)).unwrap().committed;
+    assert!(
+        gcc_second > gcc_first,
+        "the resident job should speed up as it warms: {gcc_first} -> {gcc_second}"
+    );
+}
