@@ -61,26 +61,56 @@ pub fn print_predictor_bars(report: &ExperimentReport) {
     );
 }
 
-/// Runs `f` over `items` with one OS thread per item (experiments are
+/// Runs `f` over `items` on a pool of OS threads (experiments are
 /// independent and single-threaded, so this scales to the 13 paper
-/// configurations on a multicore host). Results keep input order.
+/// configurations on a multicore host). The fan-out is capped at
+/// [`std::thread::available_parallelism`], so oversubscription does not
+/// distort per-experiment timing on small hosts. Results keep input order.
 pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let mut out: Vec<Option<U>> = items.iter().map(|_| None).collect();
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for item in items {
-            handles.push(scope.spawn(|| f(item)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("experiment thread panicked"));
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
         }
     });
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -110,5 +140,15 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_handles_more_items_than_cores() {
+        // Far more items than any host's parallelism: exercises the work
+        // queue (each worker handles many items) and order preservation.
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items.clone(), |x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
     }
 }

@@ -55,6 +55,7 @@ pub mod runner;
 pub mod sample;
 pub mod schedule;
 pub mod sos;
+pub mod telemetry;
 pub mod ws;
 
 pub use error::ParseExperimentError;

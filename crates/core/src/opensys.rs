@@ -22,6 +22,7 @@ use crate::dist::Exponential;
 use crate::predictor::PredictorKind;
 use crate::sample::ScheduleSample;
 use crate::schedule::Schedule;
+use crate::telemetry::{self, Attr, TelemetryObserver};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -378,6 +379,17 @@ pub fn run_open_system_on_trace(
     trace: &[JobArrival],
 ) -> OpenSystemResult {
     let mut cpu = Processor::new(MachineConfig::alpha21264_like(cfg.smt));
+    if telemetry::is_enabled() {
+        cpu.set_observer(Box::new(TelemetryObserver::new()));
+    }
+    let _run_span = telemetry::span(
+        "opensys",
+        "opensys.run",
+        vec![
+            Attr::text("scheduler", format!("{kind:?}")),
+            Attr::num("jobs", trace.len() as f64),
+        ],
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5c4ed);
     let mut now = 0u64;
     let mut next_arrival = 0usize;
@@ -388,10 +400,23 @@ pub fn run_open_system_on_trace(
     let mut resamples = 0u64;
 
     while completed.len() < trace.len() {
+        // The open system tracks global simulated time itself; keep the
+        // telemetry clock in lockstep (also across idle fast-forwards).
+        telemetry::set_clock(now);
         // Admit arrivals.
         let mut mix_changed = false;
         while next_arrival < trace.len() && trace[next_arrival].arrival <= now {
             let a = &trace[next_arrival];
+            telemetry::instant(
+                "opensys",
+                "opensys.arrival",
+                vec![
+                    Attr::num("job", next_arrival as f64),
+                    Attr::text("benchmark", format!("{:?}", a.benchmark)),
+                    Attr::text("phased", if a.phased { "true" } else { "false" }),
+                ],
+            );
+            telemetry::counter_add("opensys.arrivals", 1);
             let id = StreamId(next_arrival as u32);
             let job_seed = cfg.seed ^ (next_arrival as u64).wrapping_mul(0x9e37);
             let stream = if a.phased {
@@ -418,9 +443,19 @@ pub fn run_open_system_on_trace(
             continue;
         }
         if mix_changed {
+            telemetry::gauge_set("opensys.jobs_in_system", live.len() as f64);
             enter_after_mix_change(&mut state, cfg, &live, &mut rng, false);
             if matches!(state.mode, Mode::Sampling { .. }) {
                 resamples += 1;
+                telemetry::instant(
+                    "opensys",
+                    "opensys.resample",
+                    vec![
+                        Attr::text("trigger", "arrival"),
+                        Attr::num("live", live.len() as f64),
+                    ],
+                );
+                telemetry::counter_add("opensys.resamples", 1);
             }
         }
         // Symbios timer (or pending drift trigger)?
@@ -429,6 +464,15 @@ pub fn run_open_system_on_trace(
                 enter_after_mix_change(&mut state, cfg, &live, &mut rng, true);
                 if matches!(state.mode, Mode::Sampling { .. }) {
                     resamples += 1;
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.resample",
+                        vec![
+                            Attr::text("trigger", "timer"),
+                            Attr::num("live", live.len() as f64),
+                        ],
+                    );
+                    telemetry::counter_add("opensys.resamples", 1);
                 }
             }
         }
@@ -448,6 +492,17 @@ pub fn run_open_system_on_trace(
         let mut departed = false;
         live.retain(|j| {
             if j.finished() {
+                let response = now.saturating_sub(trace[j.key].arrival);
+                telemetry::instant(
+                    "opensys",
+                    "opensys.departure",
+                    vec![
+                        Attr::num("job", j.key as f64),
+                        Attr::num("response_cycles", response as f64),
+                    ],
+                );
+                telemetry::counter_add("opensys.departures", 1);
+                telemetry::histogram_record("opensys.response_cycles", response);
                 completed.push(JobRecord {
                     arrival: trace[j.key].clone(),
                     departure: now,
@@ -458,8 +513,21 @@ pub fn run_open_system_on_trace(
                 true
             }
         });
-        if departed && !live.is_empty() {
-            enter_after_mix_change(&mut state, cfg, &live, &mut rng, false);
+        if departed {
+            telemetry::gauge_set("opensys.jobs_in_system", live.len() as f64);
+            if !live.is_empty() {
+                enter_after_mix_change(&mut state, cfg, &live, &mut rng, false);
+                if matches!(state.mode, Mode::Sampling { .. }) {
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.resample",
+                        vec![
+                            Attr::text("trigger", "departure"),
+                            Attr::num("live", live.len() as f64),
+                        ],
+                    );
+                }
+            }
         }
     }
 
@@ -639,7 +707,14 @@ fn advance_after_slice(
                 // Exponential backoff: if a timer-triggered resample repeats
                 // the previous prediction, double the symbiosis interval.
                 let new_interval = if timer_triggered && prev_pick.as_deref() == Some(&order[..]) {
-                    interval.saturating_mul(2)
+                    let doubled = interval.saturating_mul(2);
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.backoff",
+                        vec![Attr::num("interval", doubled as f64)],
+                    );
+                    telemetry::counter_add("opensys.backoffs", 1);
+                    doubled
                 } else {
                     cfg.mean_interarrival
                 };

@@ -148,6 +148,20 @@ impl Runner {
         &mut self.processor
     }
 
+    /// Installs a [`crate::telemetry::TelemetryObserver`] on the processor,
+    /// so every timeslice this runner executes is recorded as a span (with
+    /// conflict counters and occupancy samples) in the global telemetry
+    /// recorder. Replaces any previously installed observer.
+    pub fn attach_telemetry(&mut self) {
+        self.processor
+            .set_observer(Box::new(crate::telemetry::TelemetryObserver::new()));
+    }
+
+    /// Removes the processor's observer, if any (telemetry or otherwise).
+    pub fn detach_telemetry(&mut self) {
+        self.processor.clear_observer();
+    }
+
     /// Consumes the runner, returning the pool (e.g. to rebuild with a
     /// different machine).
     pub fn into_pool(self) -> JobPool {

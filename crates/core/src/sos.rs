@@ -18,6 +18,7 @@ use crate::predictor::PredictorKind;
 use crate::runner::Runner;
 use crate::sample::{sample_schedules, ScheduleSample};
 use crate::schedule::Schedule;
+use crate::telemetry::{self, Attr};
 use crate::ws::SoloRates;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -181,12 +182,25 @@ impl SosScheduler {
     /// solo IPCs, sample candidates, record every predictor's pick, then run
     /// each candidate through a symbios phase and measure its true WS.
     pub fn evaluate_experiment(spec: &ExperimentSpec, cfg: &SosConfig) -> ExperimentReport {
+        let _experiment_span = telemetry::span(
+            "scheduler",
+            "sos.experiment",
+            vec![Attr::text("spec", spec.to_string())],
+        );
         let pool = JobPool::from_specs(&spec.jobmix(), cfg.seed);
         let timeslice = spec.timeslice(cfg.cycle_scale);
         let mut runner = Runner::new(MachineConfig::alpha21264_like(spec.smt), pool, timeslice);
+        if telemetry::is_enabled() {
+            runner.attach_telemetry();
+        }
 
-        let solo = runner.calibrate_solo(cfg.calibration_cycles, cfg.calibration_cycles);
+        let solo = {
+            let _span = telemetry::span("scheduler", "sos.calibrate", vec![]);
+            runner.calibrate_solo(cfg.calibration_cycles, cfg.calibration_cycles)
+        };
         let candidates = Self::candidates(spec, cfg);
+        telemetry::counter_add("sos.experiments", 1);
+        telemetry::counter_add("sos.candidates_sampled", candidates.len() as u64);
         // One unrecorded warm-up rotation so the first sampled schedule does
         // not pay the whole memory-system cold start (the paper starts its
         // benchmarks partially executed for the same reason).
@@ -195,31 +209,82 @@ impl SosScheduler {
         }
         let mut samples = Vec::with_capacity(candidates.len());
         let mut sample_ws = Vec::with_capacity(candidates.len());
-        for schedule in &candidates {
-            let rots = runner.run_schedule(schedule, cfg.rotations_per_sample.max(1));
-            samples.push(crate::sample::ScheduleSample::from_rotations(
-                schedule, &rots,
-            ));
-            let cycles: u64 = rots.iter().map(|r| r.cycles()).sum();
-            let mut committed = vec![0u64; solo.len()];
-            for rot in &rots {
-                for (t, c) in rot.committed_per_thread(solo.len()).iter().enumerate() {
-                    committed[t] += c;
+        {
+            let _span = telemetry::span(
+                "scheduler",
+                "sos.sample_phase",
+                vec![Attr::num("candidates", candidates.len() as f64)],
+            );
+            for schedule in &candidates {
+                let notation = schedule.paper_notation();
+                let _candidate_span = telemetry::span(
+                    "scheduler",
+                    "sos.sample_candidate",
+                    vec![Attr::text("schedule", notation.clone())],
+                );
+                let rots = runner.run_schedule(schedule, cfg.rotations_per_sample.max(1));
+                samples.push(crate::sample::ScheduleSample::from_rotations(
+                    schedule, &rots,
+                ));
+                let cycles: u64 = rots.iter().map(|r| r.cycles()).sum();
+                let mut committed = vec![0u64; solo.len()];
+                for rot in &rots {
+                    for (t, c) in rot.committed_per_thread(solo.len()).iter().enumerate() {
+                        committed[t] += c;
+                    }
                 }
+                let ws = crate::ws::weighted_speedup(&committed, cycles, &solo);
+                telemetry::instant(
+                    "scheduler",
+                    "sos.sample_result",
+                    vec![Attr::text("schedule", notation), Attr::num("ws", ws)],
+                );
+                sample_ws.push(ws);
             }
-            sample_ws.push(crate::ws::weighted_speedup(&committed, cycles, &solo));
         }
 
         let picks: Vec<(PredictorKind, usize)> = PredictorKind::ALL
             .iter()
-            .map(|&p| (p, p.choose(&samples)))
+            .map(|&p| {
+                let pick = p.choose(&samples);
+                if telemetry::is_enabled() {
+                    let scores = p.scores(&samples);
+                    let mut attrs = vec![
+                        Attr::text("predictor", p.name()),
+                        Attr::num("pick", pick as f64),
+                        Attr::text("schedule", candidates[pick].paper_notation()),
+                    ];
+                    for (i, s) in scores.iter().enumerate() {
+                        attrs.push(Attr::num(format!("score.{i}"), *s));
+                    }
+                    telemetry::instant("scheduler", "sos.predictor_decision", attrs);
+                }
+                (p, pick)
+            })
             .collect();
 
         let symbios_cycles = spec.symbios_cycles(cfg.cycle_scale);
         let symbios_ws: Vec<f64> = candidates
             .iter()
-            .map(|s| Self::symbios_phase(&mut runner, s, symbios_cycles, &solo))
+            .map(|s| {
+                let notation = s.paper_notation();
+                let _span = telemetry::span(
+                    "scheduler",
+                    "sos.symbios_phase",
+                    vec![Attr::text("schedule", notation.clone())],
+                );
+                let ws = Self::symbios_phase(&mut runner, s, symbios_cycles, &solo);
+                telemetry::instant(
+                    "scheduler",
+                    "sos.symbios_result",
+                    vec![Attr::text("schedule", notation), Attr::num("ws", ws)],
+                );
+                ws
+            })
             .collect();
+        telemetry::gauge_set("sos.best_ws", {
+            symbios_ws.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        });
 
         ExperimentReport {
             spec: *spec,

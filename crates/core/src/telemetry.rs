@@ -1,0 +1,1107 @@
+//! Zero-dependency telemetry: metrics, an event stream, and trace export.
+//!
+//! This module gives every layer of the reproduction a common place to report
+//! what it is doing, without changing any API signature: a process-wide
+//! [`Recorder`] (disabled by default, one relaxed atomic load on the fast
+//! path) collects
+//!
+//! * **metrics** — named counters, gauges, and log2-bucket [`Histogram`]s in
+//!   a [`MetricRegistry`], exportable as JSONL;
+//! * **events** — a time-stamped [`Event`] stream of spans
+//!   (`SpanStart`/`SpanEnd`), instants, and counter samples, exportable as
+//!   JSONL or as Chrome `trace_event` JSON loadable in Perfetto
+//!   (<https://ui.perfetto.dev>).
+//!
+//! Timestamps are *simulated cycles* on a global clock. The
+//! [`TelemetryObserver`] (an [`smtsim::Observer`] bridge) advances the clock
+//! as timeslices retire; open-system code re-syncs it with
+//! [`set_clock`] since it already tracks global simulated time. For export,
+//! cycles are converted to microseconds at [`TRACE_CLOCK_MHZ`].
+//!
+//! ## Usage
+//!
+//! ```
+//! use sos_core::telemetry::{self, Attr};
+//!
+//! telemetry::reset();
+//! telemetry::enable();
+//! {
+//!     let _span = telemetry::span("scheduler", "demo.phase", vec![]);
+//!     telemetry::counter_add("demo.widgets", 3);
+//!     telemetry::instant("scheduler", "demo.tick", vec![Attr::num("n", 1.0)]);
+//! }
+//! let snapshot = telemetry::drain();
+//! telemetry::disable();
+//! assert_eq!(snapshot.events.len(), 3); // span start + instant + span end
+//! assert!(snapshot.chrome_trace_json().contains("traceEvents"));
+//! ```
+
+use serde::{Deserialize, Serialize};
+use smtsim::counters::Resource;
+use smtsim::observe::{Observer, StageOccupancy};
+use smtsim::TimesliceStats;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Simulated clock rate assumed when converting cycles to trace time:
+/// 500 MHz (a late-90s Alpha 21264), i.e. 500 cycles per microsecond.
+pub const TRACE_CLOCK_MHZ: u64 = 500;
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// What kind of moment an [`Event`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventPhase {
+    /// A span (nested duration) opens.
+    SpanStart,
+    /// The most recent open span with the same track and name closes.
+    SpanEnd,
+    /// A point event.
+    Instant,
+    /// A sampled numeric series (rendered as a counter track in Perfetto).
+    Counter,
+}
+
+/// One structured attribute on an [`Event`]: a key with a numeric and/or
+/// text value. (A struct of two `Option`s rather than an enum keeps the
+/// type friendly to minimal serde derives and to JSONL readers.)
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Attr {
+    /// Attribute name.
+    pub key: String,
+    /// Numeric value, if any.
+    pub num: Option<f64>,
+    /// Text value, if any.
+    pub text: Option<String>,
+}
+
+impl Attr {
+    /// A numeric attribute.
+    pub fn num(key: impl Into<String>, value: f64) -> Attr {
+        Attr {
+            key: key.into(),
+            num: Some(value),
+            text: None,
+        }
+    }
+
+    /// A text attribute.
+    pub fn text(key: impl Into<String>, value: impl Into<String>) -> Attr {
+        Attr {
+            key: key.into(),
+            num: None,
+            text: Some(value.into()),
+        }
+    }
+}
+
+/// One telemetry event on the global simulated-cycle timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Global simulated-cycle timestamp.
+    pub ts_cycles: u64,
+    /// Span/instant/counter discriminator.
+    pub phase: EventPhase,
+    /// Logical track (rendered as a Perfetto thread): `"smtsim"`,
+    /// `"scheduler"`, `"opensys"`, ...
+    pub track: String,
+    /// Low-cardinality event name, e.g. `"sos.sample_phase"`.
+    pub name: String,
+    /// Structured details.
+    pub attrs: Vec<Attr>,
+}
+
+/// Serializes events as JSONL (one JSON object per line).
+pub fn events_to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// A histogram over `u64` values with logarithmic (power-of-two) buckets.
+///
+/// Bucket `0` counts zeros; bucket `i > 0` counts values `v` with
+/// `2^(i-1) <= v < 2^i`. 65 buckets cover the full `u64` range.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (see type docs for bucket boundaries).
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the lower bound of the bucket
+    /// containing the `q`-th ordered value.
+    pub fn approx_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::bucket_lower_bound(i);
+            }
+        }
+        Self::bucket_lower_bound(64)
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Discriminates [`Metric`] payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonic `u64` sum.
+    Counter,
+    /// Last-write-wins `f64`.
+    Gauge,
+    /// Log2-bucket distribution.
+    Histogram,
+}
+
+/// A named metric snapshot: exactly one of the payload fields is set,
+/// matching `kind`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name, e.g. `"smtsim.cycles"`.
+    pub name: String,
+    /// Payload discriminator.
+    pub kind: MetricKind,
+    /// Counter value (when `kind == Counter`).
+    pub counter: Option<u64>,
+    /// Gauge value (when `kind == Gauge`).
+    pub gauge: Option<f64>,
+    /// Histogram value (when `kind == Histogram`).
+    pub histogram: Option<Histogram>,
+}
+
+#[derive(Clone)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// Writes with a kind different from the name's existing kind are ignored
+/// rather than panicking (telemetry must never take the simulation down).
+#[derive(Default)]
+pub struct MetricRegistry {
+    metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        MetricRegistry {
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let MetricValue::Counter(c) = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            *c += delta;
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let MetricValue::Gauge(g) = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(MetricValue::Gauge(0.0))
+        {
+            *g = value;
+        }
+    }
+
+    /// Records `value` into histogram `name` (creating it empty).
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        if let MetricValue::Histogram(h) = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::default()))
+        {
+            h.record(value);
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Snapshots every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<Metric> {
+        self.metrics
+            .iter()
+            .map(|(name, v)| match v {
+                MetricValue::Counter(c) => Metric {
+                    name: name.clone(),
+                    kind: MetricKind::Counter,
+                    counter: Some(*c),
+                    gauge: None,
+                    histogram: None,
+                },
+                MetricValue::Gauge(g) => Metric {
+                    name: name.clone(),
+                    kind: MetricKind::Gauge,
+                    counter: None,
+                    gauge: Some(*g),
+                    histogram: None,
+                },
+                MetricValue::Histogram(h) => Metric {
+                    name: name.clone(),
+                    kind: MetricKind::Histogram,
+                    counter: None,
+                    gauge: None,
+                    histogram: Some(h.clone()),
+                },
+            })
+            .collect()
+    }
+
+    fn clear(&mut self) {
+        self.metrics.clear();
+    }
+}
+
+/// Serializes metrics as JSONL (one metric object per line, sorted by name).
+pub fn metrics_to_jsonl(metrics: &[Metric]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        out.push_str(&serde_json::to_string(m).expect("metric serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The global recorder
+// ---------------------------------------------------------------------------
+
+struct RecorderInner {
+    events: Vec<Event>,
+    registry: MetricRegistry,
+    clock_cycles: u64,
+}
+
+/// A telemetry collector: an enable flag, an event buffer, a metric
+/// registry, and a simulated-cycle clock.
+///
+/// The process-wide instance behind the module-level free functions is the
+/// normal way to use this; the type is public so tests and embedders can
+/// run isolated recorders.
+pub struct Recorder {
+    enabled: AtomicBool,
+    inner: Mutex<RecorderInner>,
+}
+
+impl Recorder {
+    /// A disabled recorder with an empty buffer and registry.
+    pub const fn new() -> Self {
+        Recorder {
+            enabled: AtomicBool::new(false),
+            inner: Mutex::new(RecorderInner {
+                events: Vec::new(),
+                registry: MetricRegistry::new(),
+                clock_cycles: 0,
+            }),
+        }
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (buffered data is kept until [`Recorder::drain`] or
+    /// [`Recorder::reset`]).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on. This is the fast path every probe checks
+    /// first: a single relaxed atomic load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Clears events, metrics, and the clock (the enable flag is untouched).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.events.clear();
+        inner.registry.clear();
+        inner.clock_cycles = 0;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderInner> {
+        // Telemetry must keep working even if a panicking test poisoned the
+        // lock; the data is append-mostly and stays structurally valid.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current simulated-cycle clock.
+    pub fn clock(&self) -> u64 {
+        self.lock().clock_cycles
+    }
+
+    /// Sets the clock (used by code that tracks global simulated time).
+    pub fn set_clock(&self, cycles: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().clock_cycles = cycles;
+    }
+
+    /// Advances the clock by `cycles`.
+    pub fn advance_clock(&self, cycles: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock_cycles += cycles;
+    }
+
+    fn push_at(
+        &self,
+        ts_cycles: u64,
+        phase: EventPhase,
+        track: &str,
+        name: &str,
+        attrs: Vec<Attr>,
+    ) {
+        let mut inner = self.lock();
+        inner.events.push(Event {
+            ts_cycles,
+            phase,
+            track: track.to_string(),
+            name: name.to_string(),
+            attrs,
+        });
+    }
+
+    fn push(&self, phase: EventPhase, track: &str, name: &str, attrs: Vec<Attr>) {
+        let mut inner = self.lock();
+        let ts = inner.clock_cycles;
+        inner.events.push(Event {
+            ts_cycles: ts,
+            phase,
+            track: track.to_string(),
+            name: name.to_string(),
+            attrs,
+        });
+    }
+
+    /// Emits a [`EventPhase::SpanStart`] at the current clock.
+    pub fn span_start(&self, track: &str, name: &str, attrs: Vec<Attr>) {
+        if self.is_enabled() {
+            self.push(EventPhase::SpanStart, track, name, attrs);
+        }
+    }
+
+    /// Emits a [`EventPhase::SpanEnd`] at the current clock.
+    pub fn span_end(&self, track: &str, name: &str) {
+        if self.is_enabled() {
+            self.push(EventPhase::SpanEnd, track, name, Vec::new());
+        }
+    }
+
+    /// Emits an [`EventPhase::Instant`] at the current clock.
+    pub fn instant(&self, track: &str, name: &str, attrs: Vec<Attr>) {
+        if self.is_enabled() {
+            self.push(EventPhase::Instant, track, name, attrs);
+        }
+    }
+
+    /// Emits an [`EventPhase::Counter`] sample at an explicit timestamp
+    /// (e.g. occupancy sampled mid-timeslice, before the clock advances).
+    pub fn counter_sample_at(&self, ts_cycles: u64, track: &str, name: &str, attrs: Vec<Attr>) {
+        if self.is_enabled() {
+            self.push_at(ts_cycles, EventPhase::Counter, track, name, attrs);
+        }
+    }
+
+    /// Adds to a named counter metric.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if self.is_enabled() {
+            self.lock().registry.counter_add(name, delta);
+        }
+    }
+
+    /// Sets a named gauge metric.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if self.is_enabled() {
+            self.lock().registry.gauge_set(name, value);
+        }
+    }
+
+    /// Records into a named histogram metric.
+    pub fn histogram_record(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.lock().registry.histogram_record(name, value);
+        }
+    }
+
+    /// Takes the buffered events and a metric snapshot, clearing both (the
+    /// clock and enable flag are untouched).
+    pub fn drain(&self) -> Snapshot {
+        let mut inner = self.lock();
+        let events = std::mem::take(&mut inner.events);
+        let metrics = inner.registry.snapshot();
+        inner.registry.clear();
+        Snapshot { events, metrics }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+static GLOBAL: Recorder = Recorder::new();
+
+/// The process-wide recorder behind the module-level free functions.
+pub fn global() -> &'static Recorder {
+    &GLOBAL
+}
+
+/// Starts recording on the global recorder.
+pub fn enable() {
+    GLOBAL.enable()
+}
+
+/// Stops recording on the global recorder.
+pub fn disable() {
+    GLOBAL.disable()
+}
+
+/// Whether global recording is on.
+#[inline]
+pub fn is_enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Clears the global recorder's events, metrics, and clock.
+pub fn reset() {
+    GLOBAL.reset()
+}
+
+/// The global simulated-cycle clock.
+pub fn clock() -> u64 {
+    GLOBAL.clock()
+}
+
+/// Sets the global clock.
+pub fn set_clock(cycles: u64) {
+    GLOBAL.set_clock(cycles)
+}
+
+/// Advances the global clock.
+pub fn advance_clock(cycles: u64) {
+    GLOBAL.advance_clock(cycles)
+}
+
+/// Emits a span-start event (see [`span`] for the RAII form).
+pub fn span_start(track: &str, name: &str, attrs: Vec<Attr>) {
+    GLOBAL.span_start(track, name, attrs)
+}
+
+/// Emits a span-end event.
+pub fn span_end(track: &str, name: &str) {
+    GLOBAL.span_end(track, name)
+}
+
+/// Emits an instant event.
+pub fn instant(track: &str, name: &str, attrs: Vec<Attr>) {
+    GLOBAL.instant(track, name, attrs)
+}
+
+/// Emits a counter sample at an explicit timestamp.
+pub fn counter_sample_at(ts_cycles: u64, track: &str, name: &str, attrs: Vec<Attr>) {
+    GLOBAL.counter_sample_at(ts_cycles, track, name, attrs)
+}
+
+/// Adds to a global counter metric.
+pub fn counter_add(name: &str, delta: u64) {
+    GLOBAL.counter_add(name, delta)
+}
+
+/// Sets a global gauge metric.
+pub fn gauge_set(name: &str, value: f64) {
+    GLOBAL.gauge_set(name, value)
+}
+
+/// Records into a global histogram metric.
+pub fn histogram_record(name: &str, value: u64) {
+    GLOBAL.histogram_record(name, value)
+}
+
+/// Drains the global recorder.
+pub fn drain() -> Snapshot {
+    GLOBAL.drain()
+}
+
+/// An RAII span on the global recorder: emits `SpanStart` on creation and
+/// `SpanEnd` on drop, so spans close on every exit path.
+///
+/// Track and name are `'static` by design — span names should be
+/// low-cardinality; put per-instance details in `attrs`.
+#[must_use = "the span closes when this guard drops"]
+pub struct SpanGuard {
+    track: &'static str,
+    name: &'static str,
+}
+
+/// Opens a span on the global recorder, closed when the guard drops.
+pub fn span(track: &'static str, name: &'static str, attrs: Vec<Attr>) -> SpanGuard {
+    span_start(track, name, attrs);
+    SpanGuard { track, name }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        span_end(self.track, self.name);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot and export
+// ---------------------------------------------------------------------------
+
+/// Everything drained from a recorder: the event stream and a metric
+/// snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Buffered events in emission order.
+    pub events: Vec<Event>,
+    /// Metric snapshot, sorted by name.
+    pub metrics: Vec<Metric>,
+}
+
+impl Snapshot {
+    /// Events as JSONL.
+    pub fn events_jsonl(&self) -> String {
+        events_to_jsonl(&self.events)
+    }
+
+    /// Metrics as JSONL.
+    pub fn metrics_jsonl(&self) -> String {
+        metrics_to_jsonl(&self.metrics)
+    }
+
+    /// The event stream as Chrome `trace_event` JSON (object format), with
+    /// cycles converted to microseconds at [`TRACE_CLOCK_MHZ`]. Loadable in
+    /// Perfetto or `chrome://tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        serde_json::to_string_pretty(&chrome_trace_value(&self.events)).expect("trace serializes")
+    }
+}
+
+fn attr_to_json(attr: &Attr) -> (String, serde::Value) {
+    let value = match (&attr.num, &attr.text) {
+        (Some(n), _) => serde_json::to_value(n).expect("f64 serializes"),
+        (None, Some(t)) => serde::Value::String(t.clone()),
+        (None, None) => serde::Value::Null,
+    };
+    (attr.key.clone(), value)
+}
+
+/// Builds the Chrome `trace_event` JSON value for an event stream.
+///
+/// Layout: one process (`pid` 1), one Perfetto thread per distinct event
+/// track (named via `thread_name` metadata events), `ph` values `B`/`E`
+/// for spans, `i` for instants, and `C` for counter samples.
+pub fn chrome_trace_value(events: &[Event]) -> serde::Value {
+    let mut tracks: Vec<&str> = Vec::new();
+    for e in events {
+        if !tracks.iter().any(|t| *t == e.track) {
+            tracks.push(&e.track);
+        }
+    }
+    let tid_of =
+        |track: &str| -> u64 { tracks.iter().position(|t| *t == track).unwrap_or(0) as u64 + 1 };
+
+    let mut trace_events: Vec<serde::Value> = Vec::new();
+    // Thread-name metadata first, one per track.
+    for track in &tracks {
+        trace_events.push(serde::Value::Object(vec![
+            ("name".into(), serde::Value::String("thread_name".into())),
+            ("ph".into(), serde::Value::String("M".into())),
+            ("pid".into(), serde_json::to_value(&1u64).unwrap()),
+            ("tid".into(), serde_json::to_value(&tid_of(track)).unwrap()),
+            (
+                "args".into(),
+                serde::Value::Object(vec![(
+                    "name".into(),
+                    serde::Value::String((*track).to_string()),
+                )]),
+            ),
+        ]));
+    }
+
+    for e in events {
+        let ts_us = e.ts_cycles as f64 / TRACE_CLOCK_MHZ as f64;
+        let ph = match e.phase {
+            EventPhase::SpanStart => "B",
+            EventPhase::SpanEnd => "E",
+            EventPhase::Instant => "i",
+            EventPhase::Counter => "C",
+        };
+        let mut obj: Vec<(String, serde::Value)> = vec![
+            ("name".into(), serde::Value::String(e.name.clone())),
+            ("cat".into(), serde::Value::String(e.track.clone())),
+            ("ph".into(), serde::Value::String(ph.into())),
+            ("ts".into(), serde_json::to_value(&ts_us).unwrap()),
+            ("pid".into(), serde_json::to_value(&1u64).unwrap()),
+            (
+                "tid".into(),
+                serde_json::to_value(&tid_of(&e.track)).unwrap(),
+            ),
+        ];
+        if e.phase == EventPhase::Instant {
+            // Thread-scoped instant.
+            obj.push(("s".into(), serde::Value::String("t".into())));
+        }
+        if !e.attrs.is_empty() {
+            obj.push((
+                "args".into(),
+                serde::Value::Object(e.attrs.iter().map(attr_to_json).collect()),
+            ));
+        }
+        trace_events.push(serde::Value::Object(obj));
+    }
+
+    serde::Value::Object(vec![
+        ("traceEvents".into(), serde::Value::Array(trace_events)),
+        ("displayTimeUnit".into(), serde::Value::String("ms".into())),
+        (
+            "otherData".into(),
+            serde::Value::Object(vec![(
+                "clockMHz".into(),
+                serde_json::to_value(&TRACE_CLOCK_MHZ).unwrap(),
+            )]),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// The smtsim bridge observer
+// ---------------------------------------------------------------------------
+
+/// Bridges [`smtsim::Observer`] pipeline probes into the global recorder:
+///
+/// * timeslices become `smtsim.timeslice` spans and advance the global
+///   clock;
+/// * per-cycle conflict events are aggregated locally (no lock in the cycle
+///   loop) and flushed as `smtsim.conflict_cycles.<resource>` counters at
+///   the timeslice boundary;
+/// * sampled [`StageOccupancy`] snapshots become `C` (counter-track) events
+///   with the pipeline-structure occupancies.
+#[derive(Debug, Default)]
+pub struct TelemetryObserver {
+    /// Global clock at the current timeslice's cycle 0.
+    base_cycle: u64,
+    /// Conflict cycles this timeslice, indexed like [`Resource::ALL`].
+    conflict_cycles: [u64; 7],
+}
+
+impl TelemetryObserver {
+    /// A fresh bridge observer.
+    pub fn new() -> Self {
+        TelemetryObserver::default()
+    }
+}
+
+impl Observer for TelemetryObserver {
+    fn timeslice_start(&mut self, threads: usize, cycles: u64) {
+        self.base_cycle = clock();
+        self.conflict_cycles = [0; 7];
+        span_start(
+            "smtsim",
+            "smtsim.timeslice",
+            vec![
+                Attr::num("threads", threads as f64),
+                Attr::num("cycles", cycles as f64),
+            ],
+        );
+    }
+
+    fn conflict_cycle(&mut self, _cycle: u64, resource: Resource) {
+        let idx = Resource::ALL
+            .iter()
+            .position(|&r| r == resource)
+            .expect("resource in ALL");
+        self.conflict_cycles[idx] += 1;
+    }
+
+    fn stage_occupancy(&mut self, occ: &StageOccupancy) {
+        counter_sample_at(
+            self.base_cycle + occ.cycle,
+            "smtsim",
+            "smtsim.occupancy",
+            vec![
+                Attr::num("decode", occ.decode as f64),
+                Attr::num("int_queue", occ.int_queue as f64),
+                Attr::num("fp_queue", occ.fp_queue as f64),
+                Attr::num("int_regs", occ.int_regs_in_use as f64),
+                Attr::num("fp_regs", occ.fp_regs_in_use as f64),
+                Attr::num("inflight", occ.inflight as f64),
+            ],
+        );
+    }
+
+    fn timeslice_end(&mut self, stats: &TimesliceStats) {
+        advance_clock(stats.cycles);
+        counter_add("smtsim.cycles", stats.cycles);
+        counter_add("smtsim.timeslices", 1);
+        let committed = stats.total_committed();
+        counter_add("smtsim.committed", committed);
+        histogram_record("smtsim.timeslice_committed", committed);
+        for (i, &r) in Resource::ALL.iter().enumerate() {
+            if self.conflict_cycles[i] > 0 {
+                counter_add(
+                    &format!("smtsim.conflict_cycles.{r}"),
+                    self.conflict_cycles[i],
+                );
+            }
+        }
+        span_end("smtsim", "smtsim.timeslice");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes global-recorder tests: the test harness runs threads in
+    /// parallel and the recorder is process-wide.
+    pub(crate) static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = Recorder::new();
+        r.span_start("t", "a", vec![]);
+        r.counter_add("c", 5);
+        r.advance_clock(100);
+        let snap = r.drain();
+        assert!(snap.events.is_empty());
+        assert!(snap.metrics.is_empty());
+        assert_eq!(r.clock(), 0);
+    }
+
+    #[test]
+    fn recorder_buffers_events_and_metrics() {
+        let r = Recorder::new();
+        r.enable();
+        r.advance_clock(50);
+        r.span_start("track", "phase", vec![Attr::text("k", "v")]);
+        r.advance_clock(25);
+        r.instant("track", "tick", vec![Attr::num("n", 2.0)]);
+        r.span_end("track", "phase");
+        r.counter_add("jobs", 2);
+        r.counter_add("jobs", 3);
+        r.gauge_set("load", 0.75);
+        r.histogram_record("lat", 100);
+        r.histogram_record("lat", 3_000);
+
+        let snap = r.drain();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.events[0].ts_cycles, 50);
+        assert_eq!(snap.events[1].ts_cycles, 75);
+        assert_eq!(snap.events[0].phase, EventPhase::SpanStart);
+        assert_eq!(snap.events[2].phase, EventPhase::SpanEnd);
+
+        assert_eq!(snap.metrics.len(), 3);
+        let jobs = snap.metrics.iter().find(|m| m.name == "jobs").unwrap();
+        assert_eq!(jobs.counter, Some(5));
+        let load = snap.metrics.iter().find(|m| m.name == "load").unwrap();
+        assert_eq!(load.gauge, Some(0.75));
+        let lat = snap.metrics.iter().find(|m| m.name == "lat").unwrap();
+        let h = lat.histogram.as_ref().unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 3_100);
+
+        // Drained: a second drain is empty.
+        assert!(r.drain().events.is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4..8
+        assert_eq!(h.buckets[4], 1); // 8..16
+        assert_eq!(h.buckets[11], 1); // 1024..2048
+        assert_eq!(h.count, 8);
+        assert_eq!(Histogram::bucket_lower_bound(11), 1024);
+        assert!(h.approx_quantile(0.0) <= h.approx_quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_merge_adds_observations() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        a.record(10);
+        b.record(100);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 111);
+    }
+
+    #[test]
+    fn registry_ignores_kind_mismatches() {
+        let mut reg = MetricRegistry::new();
+        reg.counter_add("x", 1);
+        reg.gauge_set("x", 9.0); // ignored: x is a counter
+        reg.histogram_record("x", 4); // ignored
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].kind, MetricKind::Counter);
+        assert_eq!(snap[0].counter, Some(1));
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop() {
+        let _l = locked();
+        reset();
+        enable();
+        {
+            let _g = span("scheduler", "outer", vec![]);
+            instant("scheduler", "mid", vec![]);
+        }
+        disable();
+        let snap = drain();
+        let phases: Vec<EventPhase> = snap.events.iter().map(|e| e.phase).collect();
+        assert_eq!(
+            phases,
+            vec![
+                EventPhase::SpanStart,
+                EventPhase::Instant,
+                EventPhase::SpanEnd
+            ]
+        );
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let events = vec![
+            Event {
+                ts_cycles: 1_000,
+                phase: EventPhase::SpanStart,
+                track: "scheduler".into(),
+                name: "phase".into(),
+                attrs: vec![Attr::text("spec", "Jsb(6,3,3)")],
+            },
+            Event {
+                ts_cycles: 1_500,
+                phase: EventPhase::Counter,
+                track: "smtsim".into(),
+                name: "occupancy".into(),
+                attrs: vec![Attr::num("int_queue", 12.0)],
+            },
+            Event {
+                ts_cycles: 2_000,
+                phase: EventPhase::SpanEnd,
+                track: "scheduler".into(),
+                name: "phase".into(),
+                attrs: vec![],
+            },
+        ];
+        let value = chrome_trace_value(&events);
+        let top = value.as_object().unwrap();
+        let trace_events = top
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .unwrap()
+            .1
+            .as_array()
+            .unwrap();
+        // 2 thread_name metadata + 3 events.
+        assert_eq!(trace_events.len(), 5);
+        let get = |v: &serde::Value, k: &str| v.get(k).cloned().unwrap();
+        // Metadata first.
+        assert_eq!(get(&trace_events[0], "ph").as_str(), Some("M"));
+        // Span start: ph B, ts in µs at 500 cycles/µs.
+        let b = &trace_events[2];
+        assert_eq!(get(b, "ph").as_str(), Some("B"));
+        assert_eq!(get(b, "ts").as_f64(), Some(2.0));
+        // Tracks map to distinct tids.
+        assert_ne!(
+            get(&trace_events[2], "tid").as_u64(),
+            get(&trace_events[3], "tid").as_u64()
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_events_and_metrics() {
+        let e = Event {
+            ts_cycles: 42,
+            phase: EventPhase::Instant,
+            track: "opensys".into(),
+            name: "arrival".into(),
+            attrs: vec![Attr::num("job", 3.0), Attr::text("bench", "gcc")],
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e);
+
+        let mut h = Histogram::default();
+        h.record(77);
+        let m = Metric {
+            name: "lat".into(),
+            kind: MetricKind::Histogram,
+            counter: None,
+            gauge: None,
+            histogram: Some(h),
+        };
+        let line = serde_json::to_string(&m).unwrap();
+        let back: Metric = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn telemetry_observer_bridges_pipeline_events() {
+        use smtsim::{MachineConfig, Processor};
+
+        struct Alu {
+            pc: u64,
+        }
+        impl smtsim::trace::InstructionSource for Alu {
+            fn next_instr(&mut self) -> smtsim::Fetch {
+                self.pc += 4;
+                smtsim::Fetch::Instr(smtsim::Instr::int_alu(self.pc, 0))
+            }
+            fn id(&self) -> smtsim::StreamId {
+                smtsim::StreamId(0)
+            }
+        }
+
+        let _l = locked();
+        reset();
+        enable();
+        let mut p = Processor::new(MachineConfig::alpha21264_like(2));
+        p.set_observer(Box::new(TelemetryObserver::new()));
+        p.set_occupancy_interval(500);
+        let mut job = Alu { pc: 0 };
+        let _ = p.run_timeslice(&mut [&mut job], 2_000);
+        let _ = p.run_timeslice(&mut [&mut job], 2_000);
+        disable();
+        let snap = drain();
+
+        assert_eq!(clock() % 4_000, 0);
+        let starts = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "smtsim.timeslice" && e.phase == EventPhase::SpanStart)
+            .count();
+        assert_eq!(starts, 2);
+        // Second timeslice's span starts at the advanced clock.
+        let start_ts: Vec<u64> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "smtsim.timeslice" && e.phase == EventPhase::SpanStart)
+            .map(|e| e.ts_cycles)
+            .collect();
+        assert_eq!(start_ts, vec![0, 2_000]);
+        // Occupancy counter samples: 4 per slice (cycles 0, 500, 1000, 1500).
+        let occ = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "smtsim.occupancy")
+            .count();
+        assert_eq!(occ, 8);
+        let cycles = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "smtsim.cycles")
+            .unwrap();
+        assert_eq!(cycles.counter, Some(4_000));
+        reset();
+    }
+}

@@ -29,6 +29,7 @@ use crate::fetch::{
     brcount_priority, icount_priority, misscount_priority, round_robin_priority, FetchCandidate,
 };
 use crate::fu::{FuKind, FuPools};
+use crate::observe::{Observer, StageOccupancy};
 use crate::queue::{IssueQueue, QEntry, NO_DEP};
 use crate::rename::RegPool;
 use crate::stats::{ThreadStats, TimesliceStats};
@@ -38,6 +39,10 @@ use std::collections::VecDeque;
 
 /// Per-context decode-buffer capacity.
 const DECODE_CAP: usize = 16;
+
+/// Default cycle interval between stage-occupancy samples sent to a
+/// registered [`Observer`].
+pub const DEFAULT_OCCUPANCY_INTERVAL: u64 = 64;
 
 #[derive(Clone)]
 struct ContextState {
@@ -144,6 +149,10 @@ pub struct Engine {
     conflicts: ConflictCounters,
     /// Per-cycle conflict flags, indexed like [`Resource::ALL`].
     cycle_flags: [bool; 7],
+    /// Optional telemetry probe; `None` costs one branch per cycle.
+    observer: Option<Box<dyn Observer>>,
+    /// Cycles between stage-occupancy samples delivered to the observer.
+    occupancy_interval: u64,
 }
 
 impl Engine {
@@ -177,8 +186,35 @@ impl Engine {
             now: 0,
             conflicts: ConflictCounters::default(),
             cycle_flags: [false; 7],
+            observer: None,
+            occupancy_interval: DEFAULT_OCCUPANCY_INTERVAL,
             cfg,
         }
+    }
+
+    /// Registers `observer` to receive pipeline events; replaces any
+    /// previous observer.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and drops the current observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Whether an observer is currently registered.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Sets the cycle interval between stage-occupancy samples.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn set_occupancy_interval(&mut self, interval: u64) {
+        assert!(interval > 0, "occupancy interval must be non-zero");
+        self.occupancy_interval = interval;
     }
 
     /// The configuration this engine models.
@@ -236,6 +272,10 @@ impl Engine {
         self.now = 0;
         self.conflicts = ConflictCounters::default();
 
+        if let Some(obs) = self.observer.as_mut() {
+            obs.timeslice_start(sources.len(), cycles);
+        }
+
         for _ in 0..cycles {
             self.cycle_flags = [false; 7];
             self.complete_stage();
@@ -247,11 +287,14 @@ impl Engine {
                     *self.conflicts.get_mut(Resource::ALL[i]) += 1;
                 }
             }
+            if self.observer.is_some() {
+                self.observe_cycle();
+            }
             self.now += 1;
             self.rr_cursor = (self.rr_cursor + 1) % self.contexts.len();
         }
 
-        TimesliceStats {
+        let stats = TimesliceStats {
             cycles,
             threads: self.contexts.iter().map(|c| c.stats.clone()).collect(),
             conflicts: self.conflicts,
@@ -259,6 +302,41 @@ impl Engine {
             dtlb: self.dtlb.take_stats(),
             itlb: self.itlb.take_stats(),
             branches: self.bp.take_stats(),
+        };
+        if let Some(obs) = self.observer.as_mut() {
+            obs.timeslice_end(&stats);
+        }
+        stats
+    }
+
+    /// Delivers this cycle's events to the registered observer: one
+    /// `conflict_cycle` per flagged resource, plus a [`StageOccupancy`]
+    /// snapshot on sampled cycles. Kept out of line so the common
+    /// no-observer path in the cycle loop stays a single branch.
+    #[cold]
+    fn observe_cycle(&mut self) {
+        let occupancy = self
+            .now
+            .is_multiple_of(self.occupancy_interval)
+            .then(|| StageOccupancy {
+                cycle: self.now,
+                decode: self.contexts.iter().map(|c| c.decode.len()).sum(),
+                int_queue: self.int_q.len(),
+                fp_queue: self.fp_q.len(),
+                int_regs_in_use: self.int_regs.in_use(),
+                fp_regs_in_use: self.fp_regs.in_use(),
+                inflight: self.contexts.iter().map(|c| c.inflight).sum(),
+            });
+        let now = self.now;
+        let flags = self.cycle_flags;
+        let obs = self.observer.as_mut().expect("checked by caller");
+        for (i, &flag) in flags.iter().enumerate() {
+            if flag {
+                obs.conflict_cycle(now, Resource::ALL[i]);
+            }
+        }
+        if let Some(occ) = occupancy {
+            obs.stage_occupancy(&occ);
         }
     }
 

@@ -1,6 +1,7 @@
 //! The public processor façade.
 
 use crate::config::MachineConfig;
+use crate::observe::Observer;
 use crate::pipeline::Engine;
 use crate::stats::TimesliceStats;
 use crate::trace::InstructionSource;
@@ -77,6 +78,34 @@ impl Processor {
     pub fn flush_memory_state(&mut self) {
         self.engine.flush_memory_state()
     }
+
+    /// Registers a telemetry [`Observer`] receiving timeslice, conflict, and
+    /// occupancy events (see [`crate::observe`]). Replaces any previous
+    /// observer. With no observer registered the probes cost one branch per
+    /// simulated cycle.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.engine.set_observer(observer)
+    }
+
+    /// Removes and drops the current observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.engine.clear_observer()
+    }
+
+    /// Whether an observer is currently registered.
+    pub fn has_observer(&self) -> bool {
+        self.engine.has_observer()
+    }
+
+    /// Sets the cycle interval between stage-occupancy samples delivered to
+    /// the observer (default
+    /// [`crate::pipeline::DEFAULT_OCCUPANCY_INTERVAL`]).
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn set_occupancy_interval(&mut self, interval: u64) {
+        self.engine.set_occupancy_interval(interval)
+    }
 }
 
 impl std::fmt::Debug for Processor {
@@ -110,6 +139,74 @@ mod tests {
         let p = Processor::new(MachineConfig::alpha21264_like(3));
         assert!(format!("{p:?}").contains("contexts"));
         assert_eq!(p.contexts(), 3);
+    }
+
+    #[test]
+    fn observer_sees_consistent_event_stream() {
+        use crate::counters::Resource;
+        use crate::observe::{Observer, StageOccupancy};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Record {
+            starts: usize,
+            ends: usize,
+            conflict_events: u64,
+            occupancy_samples: u64,
+            max_inflight: usize,
+        }
+
+        struct Probe(Rc<RefCell<Record>>);
+        impl Observer for Probe {
+            fn timeslice_start(&mut self, threads: usize, cycles: u64) {
+                assert_eq!(threads, 1);
+                assert_eq!(cycles, 2_000);
+                self.0.borrow_mut().starts += 1;
+            }
+            fn timeslice_end(&mut self, stats: &TimesliceStats) {
+                assert_eq!(stats.cycles, 2_000);
+                self.0.borrow_mut().ends += 1;
+            }
+            fn conflict_cycle(&mut self, cycle: u64, _resource: Resource) {
+                assert!(cycle < 2_000);
+                self.0.borrow_mut().conflict_events += 1;
+            }
+            fn stage_occupancy(&mut self, occ: &StageOccupancy) {
+                let mut r = self.0.borrow_mut();
+                r.occupancy_samples += 1;
+                r.max_inflight = r.max_inflight.max(occ.inflight);
+            }
+        }
+
+        let record = Rc::new(RefCell::new(Record::default()));
+        let mut p = Processor::new(MachineConfig::alpha21264_like(2));
+        p.set_observer(Box::new(Probe(Rc::clone(&record))));
+        p.set_occupancy_interval(100);
+        assert!(p.has_observer());
+
+        let mut job = Alu { pc: 0 };
+        let stats = p.run_timeslice(&mut [&mut job], 2_000);
+
+        let r = record.borrow();
+        assert_eq!(r.starts, 1);
+        assert_eq!(r.ends, 1);
+        // One conflict event per (cycle, resource) flag: totals must agree
+        // with the hardware conflict counters.
+        let counter_sum: u64 = Resource::ALL.iter().map(|&x| stats.conflicts.get(x)).sum();
+        assert_eq!(r.conflict_events, counter_sum);
+        // Samples at cycles 0, 100, ..., 1900.
+        assert_eq!(r.occupancy_samples, 20);
+        assert!(r.max_inflight > 0, "pipeline never held an instruction");
+        drop(r);
+
+        p.clear_observer();
+        assert!(!p.has_observer());
+        // With the observer gone the run still works and stats still flow.
+        let mut job = Alu { pc: 0 };
+        let stats = p.run_timeslice(&mut [&mut job], 2_000);
+        assert!(stats.total_committed() > 0);
+        assert_eq!(record.borrow().starts, 1, "cleared observer got events");
     }
 
     #[test]

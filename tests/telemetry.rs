@@ -1,0 +1,267 @@
+//! Telemetry-subsystem integration tests: serde round-trips for the event
+//! and metric models, event ordering/nesting across a real SOS run, and a
+//! golden schema check for the Chrome trace exporter.
+
+use smt_symbiosis::sos::sos::{SosConfig, SosScheduler};
+use smt_symbiosis::sos::telemetry::{
+    self, chrome_trace_value, Attr, Event, EventPhase, Histogram, Metric, MetricKind, Snapshot,
+};
+use smt_symbiosis::sos::ExperimentSpec;
+use smtsim::{ConflictCounters, ThreadStats};
+use std::sync::Mutex;
+
+/// The recorder is process-wide and the test harness is multi-threaded:
+/// every test that touches the global recorder takes this lock.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+#[test]
+fn events_round_trip_in_every_phase() {
+    for phase in [
+        EventPhase::SpanStart,
+        EventPhase::SpanEnd,
+        EventPhase::Instant,
+        EventPhase::Counter,
+    ] {
+        let e = Event {
+            ts_cycles: 12_345,
+            phase,
+            track: "scheduler".into(),
+            name: "sos.sample_phase".into(),
+            attrs: vec![
+                Attr::num("candidates", 10.0),
+                Attr::text("spec", "Jsb(6,3,3)"),
+            ],
+        };
+        assert_eq!(round_trip(&e), e, "{phase:?}");
+    }
+}
+
+#[test]
+fn metrics_and_snapshots_round_trip() {
+    let mut h = Histogram::default();
+    h.record(0);
+    h.record(513);
+    let metrics = vec![
+        Metric {
+            name: "c".into(),
+            kind: MetricKind::Counter,
+            counter: Some(42),
+            gauge: None,
+            histogram: None,
+        },
+        Metric {
+            name: "g".into(),
+            kind: MetricKind::Gauge,
+            counter: None,
+            gauge: Some(-1.25),
+            histogram: None,
+        },
+        Metric {
+            name: "h".into(),
+            kind: MetricKind::Histogram,
+            counter: None,
+            gauge: None,
+            histogram: Some(h),
+        },
+    ];
+    let snap = Snapshot {
+        events: vec![Event {
+            ts_cycles: 7,
+            phase: EventPhase::Instant,
+            track: "opensys".into(),
+            name: "opensys.arrival".into(),
+            attrs: vec![],
+        }],
+        metrics,
+    };
+    assert_eq!(round_trip(&snap), snap);
+}
+
+#[test]
+fn thread_stats_and_conflict_counters_round_trip() {
+    let t = ThreadStats {
+        committed: 123_456,
+        ..Default::default()
+    };
+    assert_eq!(round_trip(&t), t);
+    let c = ConflictCounters {
+        int_queue: 9,
+        fp_queue: 2,
+        ..Default::default()
+    };
+    assert_eq!(round_trip(&c), c);
+}
+
+/// Index of the first event matching `(phase, name)`.
+fn find(events: &[Event], phase: EventPhase, name: &str) -> usize {
+    events
+        .iter()
+        .position(|e| e.phase == phase && e.name == name)
+        .unwrap_or_else(|| panic!("no {phase:?} {name}"))
+}
+
+/// Index of the last event matching `(phase, name)`.
+fn rfind(events: &[Event], phase: EventPhase, name: &str) -> usize {
+    events.len()
+        - 1
+        - events
+            .iter()
+            .rev()
+            .position(|e| e.phase == phase && e.name == name)
+            .unwrap_or_else(|| panic!("no {phase:?} {name}"))
+}
+
+#[test]
+fn sos_run_emits_well_nested_ordered_events() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    telemetry::enable();
+    let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+    let cfg = SosConfig {
+        cycle_scale: 20_000,
+        calibration_cycles: 15_000,
+        ..SosConfig::default()
+    };
+    let report = SosScheduler::evaluate_experiment(&spec, &cfg);
+    telemetry::disable();
+    let snap = telemetry::drain();
+    telemetry::reset();
+    let events = &snap.events;
+    assert!(!events.is_empty());
+
+    // Timestamps never go backwards: the recorder's clock is monotonic
+    // within a run and occupancy samples are stamped inside their slice.
+    for w in events.windows(2) {
+        assert!(
+            w[0].ts_cycles <= w[1].ts_cycles,
+            "time went backwards: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+
+    // Every span is balanced, per (track, name).
+    let mut names: Vec<(&str, &str)> = events
+        .iter()
+        .filter(|e| e.phase == EventPhase::SpanStart)
+        .map(|e| (e.track.as_str(), e.name.as_str()))
+        .collect();
+    names.dedup();
+    for (track, name) in names {
+        let count = |phase| {
+            events
+                .iter()
+                .filter(|e| e.phase == phase && e.track == track && e.name == name)
+                .count()
+        };
+        assert_eq!(
+            count(EventPhase::SpanStart),
+            count(EventPhase::SpanEnd),
+            "unbalanced span {track}/{name}"
+        );
+    }
+
+    // The sample phase nests inside the experiment span, and every
+    // per-candidate span nests inside the sample phase.
+    let exp_start = find(events, EventPhase::SpanStart, "sos.experiment");
+    let exp_end = rfind(events, EventPhase::SpanEnd, "sos.experiment");
+    let sp_start = find(events, EventPhase::SpanStart, "sos.sample_phase");
+    let sp_end = rfind(events, EventPhase::SpanEnd, "sos.sample_phase");
+    assert!(exp_start < sp_start && sp_start < sp_end && sp_end < exp_end);
+    let cand_first = find(events, EventPhase::SpanStart, "sos.sample_candidate");
+    let cand_last = rfind(events, EventPhase::SpanEnd, "sos.sample_candidate");
+    assert!(sp_start < cand_first && cand_last < sp_end);
+
+    // One sample-candidate span and one sample-result instant per candidate.
+    let candidates = report.candidates.len();
+    let count_named = |phase, name: &str| {
+        events
+            .iter()
+            .filter(|e| e.phase == phase && e.name == name)
+            .count()
+    };
+    assert_eq!(
+        count_named(EventPhase::SpanStart, "sos.sample_candidate"),
+        candidates
+    );
+    assert_eq!(
+        count_named(EventPhase::Instant, "sos.sample_result"),
+        candidates
+    );
+    assert_eq!(
+        count_named(EventPhase::SpanStart, "sos.symbios_phase"),
+        candidates
+    );
+    // One predictor-decision instant per predictor.
+    assert_eq!(
+        count_named(EventPhase::Instant, "sos.predictor_decision"),
+        smt_symbiosis::sos::PredictorKind::ALL.len()
+    );
+
+    // The smtsim bridge recorded timeslices and conflict metrics.
+    assert!(count_named(EventPhase::SpanStart, "smtsim.timeslice") > 0);
+    assert!(snap.metrics.iter().any(|m| m.name == "smtsim.cycles"));
+    assert!(snap.metrics.iter().any(|m| m.name == "sos.experiments"));
+}
+
+#[test]
+fn chrome_trace_matches_golden_schema() {
+    let events = vec![
+        Event {
+            ts_cycles: 500,
+            phase: EventPhase::SpanStart,
+            track: "scheduler".into(),
+            name: "phase".into(),
+            attrs: vec![Attr::text("spec", "J")],
+        },
+        Event {
+            ts_cycles: 1_000,
+            phase: EventPhase::Instant,
+            track: "scheduler".into(),
+            name: "tick".into(),
+            attrs: vec![Attr::num("x", 1.5)],
+        },
+        Event {
+            ts_cycles: 1_500,
+            phase: EventPhase::SpanEnd,
+            track: "scheduler".into(),
+            name: "phase".into(),
+            attrs: vec![],
+        },
+    ];
+    let json = serde_json::to_string(&chrome_trace_value(&events)).unwrap();
+    let golden = concat!(
+        r#"{"traceEvents":["#,
+        r#"{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"scheduler"}},"#,
+        r#"{"name":"phase","cat":"scheduler","ph":"B","ts":1.0,"pid":1,"tid":1,"args":{"spec":"J"}},"#,
+        r#"{"name":"tick","cat":"scheduler","ph":"i","ts":2.0,"pid":1,"tid":1,"s":"t","args":{"x":1.5}},"#,
+        r#"{"name":"phase","cat":"scheduler","ph":"E","ts":3.0,"pid":1,"tid":1}"#,
+        r#"],"displayTimeUnit":"ms","otherData":{"clockMHz":500}}"#,
+    );
+    assert_eq!(json, golden);
+}
+
+#[test]
+fn disabled_telemetry_records_nothing_during_sos_run() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::reset();
+    assert!(!telemetry::is_enabled());
+    let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+    let cfg = SosConfig {
+        cycle_scale: 40_000,
+        calibration_cycles: 10_000,
+        ..SosConfig::default()
+    };
+    let _ = SosScheduler::evaluate_experiment(&spec, &cfg);
+    let snap = telemetry::drain();
+    assert!(snap.events.is_empty());
+    assert!(snap.metrics.is_empty());
+}

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace uses: [`Criterion::bench_function`], benchmark groups with
+//! throughput annotations, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark self-calibrates: a short warm-up estimates per-iteration
+//! cost, then iterations are batched to fill a fixed measurement window and
+//! the mean time per iteration is printed. Window sizes can be tuned via the
+//! `CRITERION_WARMUP_MS` / `CRITERION_MEASURE_MS` environment variables
+//! (e.g. set both to `1` for a smoke run).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// Measurement state for one benchmark.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            warmup: env_ms("CRITERION_WARMUP_MS", 60),
+            measure: env_ms("CRITERION_MEASURE_MS", 240),
+            result_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `f`, batching iterations to fill the measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Pick a batch count that roughly fills the measurement window.
+        let target = (self.measure.as_secs_f64() / per_iter.max(1e-9)) as u64;
+        let iters = target.clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Mean nanoseconds per iteration from the last [`Bencher::iter`] run.
+    pub fn mean_ns(&self) -> f64 {
+        self.result_ns
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function_name/parameter` style id.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Id that is just the parameter (most common in this workspace).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a group; reported as elements/sec.
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark and prints its mean time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!(
+            "bench: {id:<44} {:>12}/iter ({} iters)",
+            format_time(b.mean_ns()),
+            b.iters
+        );
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Upstream-compat no-op.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs a benchmark without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        self.report(id, &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let full = format!("{}/{id}", self.name);
+        let rate = match &self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns() > 0.0 => {
+                format!("  {:.1} Melem/s", *n as f64 / b.mean_ns() * 1_000.0)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns() > 0.0 => {
+                format!("  {:.1} MB/s", *n as f64 / b.mean_ns() * 1_000.0)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench: {full:<44} {:>12}/iter ({} iters){rate}",
+            format_time(b.mean_ns()),
+            b.iters
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $cfg;
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        std::env::set_var("CRITERION_MEASURE_MS", "2");
+        let mut b = Bencher::new();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns() > 0.0);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(4).id, "4");
+        assert_eq!(
+            BenchmarkId::new("enumerate", "(4,2,2)").id,
+            "enumerate/(4,2,2)"
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so this proc-macro parses
+//! the derive input with the bare `proc_macro` API (no `syn`/`quote`) and
+//! emits impls of the stand-in's `Serialize`/`Deserialize` traits, which are
+//! `Value`-based rather than visitor-based.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * named-field structs, honoring `#[serde(default)]` and defaulting missing
+//!   `Option<…>` fields;
+//! * newtype and tuple structs;
+//! * enums with unit variants only (serialized as their name string).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// `#[serde(default)]` present, or the field type is `Option<…>`.
+    default_when_missing: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the stand-in `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Value::String(::std::string::String::from(\"{v}\"))")
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default_when_missing {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"missing field `{}` in {}\"))",
+                            f.name, name
+                        )
+                    };
+                    format!(
+                        "{0}: match v.get(\"{0}\") {{\n\
+                             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+                             ::std::option::Option::None => {1},\n\
+                         }}",
+                        f.name, missing
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"expected object for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(",\n")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v.as_str() {{\n\
+                     ::std::option::Option::Some(s) => match s {{\n\
+                         {},\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::std::option::Option::None => ::std::result::Result::Err(\
+                         ::serde::Error::custom(\"expected string for enum {name}\")),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match ident_at(&tokens, i) {
+        Some(k @ ("struct" | "enum")) => {
+            i += 1;
+            k.to_string()
+        }
+        _ => panic!("serde_derive: expected `struct` or `enum`"),
+    };
+    let name = match ident_at(&tokens, i) {
+        Some(n) => {
+            i += 1;
+            n.to_string()
+        }
+        None => panic!("serde_derive: expected type name"),
+    };
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in does not support generic types (deriving `{name}`)");
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            _ => panic!("serde_derive: unsupported struct body for `{name}`"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_unit_variants(g.stream(), &name))
+            }
+            _ => panic!("serde_derive: expected enum body for `{name}`"),
+        }
+    };
+
+    Input { name, shape }
+}
+
+/// Advances past any number of `#[…]` attributes (doc comments included).
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        } else {
+            panic!("serde_derive: malformed attribute");
+        }
+    }
+}
+
+/// Like [`skip_attrs`], but reports whether one was `#[serde(default)]`.
+fn skip_attrs_detect_default(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        match tokens.get(*i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                has_default |= is_serde_default(g.stream());
+                *i += 1;
+            }
+            _ => panic!("serde_derive: malformed attribute"),
+        }
+    }
+    has_default
+}
+
+/// Recognizes the token stream of a `serde(default)` attribute body.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            g.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(arg) if arg.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(ident_at(tokens, *i), Some("pub")) {
+        *i += 1;
+        // `pub(crate)` and friends.
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(_)) => {
+            // `Ident::to_string` allocates; do it once here.
+            if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+                // Leak-free: return a owned comparison via Box? Simpler:
+                // compare through a thread-local is overkill — just allocate.
+                let s = id.to_string();
+                // SAFETY-free hack avoided: store in a Box::leak would leak.
+                // Instead, expose common keywords by interning below.
+                return Some(intern(&s));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Interns the handful of identifiers we compare against; other identifiers
+/// are returned as leaked strings (bounded by the number of distinct idents
+/// in derive inputs, compile-time only).
+fn intern(s: &str) -> &'static str {
+    match s {
+        "struct" => "struct",
+        "enum" => "enum",
+        "pub" => "pub",
+        "Option" => "Option",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+/// Parses `name: Type, …` named fields, skipping types (angle-bracket aware).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let has_default_attr = skip_attrs_detect_default(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        // The field type: note whether it is `Option<…>` and skip to the
+        // comma separating fields (commas inside `<…>` belong to the type).
+        let is_option = matches!(ident_at(&tokens, i), Some("Option"));
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Consume the trailing comma, if any.
+        if i < tokens.len() {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            default_when_missing: has_default_attr || is_option,
+        });
+    }
+    fields
+}
+
+/// Counts tuple-struct fields: comma-separated types at angle depth 0.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0i32;
+    let mut count = 1;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        // Trailing comma.
+        count -= 1;
+    }
+    count
+}
+
+/// Parses unit-only enum variants; panics on data-carrying variants.
+fn parse_unit_variants(stream: TokenStream, enum_name: &str) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                panic!("serde_derive: expected variant name in `{enum_name}`, found {other:?}")
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive stand-in supports unit enum variants only; \
+                 `{enum_name}::{name}` carries data"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant up to the comma.
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(name);
+    }
+    variants
+}
