@@ -23,9 +23,15 @@ pub fn config(scale: u64) -> SosConfig {
     }
 }
 
-/// Percent by which `a` exceeds `b`.
+/// Percent by which `a` exceeds `b`; NaN when either input is non-finite or
+/// the baseline is zero (the same guard as `sos_core::report::pct_over`, so
+/// a degenerate run prints `NaN` instead of `±inf`).
 pub fn pct_over(a: f64, b: f64) -> f64 {
-    100.0 * (a / b - 1.0)
+    if !a.is_finite() || !b.is_finite() || b == 0.0 {
+        f64::NAN
+    } else {
+        100.0 * (a / b - 1.0)
+    }
 }
 
 /// Formats one experiment's best/worst/average WS as the rows of Figure 1.
@@ -72,14 +78,26 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    parallel_map_with_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. Results keep input order
+/// regardless of `workers`, so a run is reproducible across pool sizes — the
+/// replay tests pin this by comparing `workers = 1` against `workers = N`.
+pub fn parallel_map_with_workers<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let n = items.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let workers = workers.min(n);
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -124,6 +142,15 @@ mod tests {
     }
 
     #[test]
+    fn pct_over_guards_degenerate_baselines() {
+        // A worst-case WS of 0 used to print as +inf; it must be NaN, like
+        // the report module's pct_over.
+        assert!(pct_over(1.0, 0.0).is_nan());
+        assert!(pct_over(f64::NAN, 1.0).is_nan());
+        assert!(pct_over(1.0, f64::NEG_INFINITY).is_nan());
+    }
+
+    #[test]
     fn default_config_uses_requested_scale() {
         let cfg = config(500);
         assert_eq!(cfg.cycle_scale, 500);
@@ -140,6 +167,14 @@ mod tests {
     fn parallel_map_empty() {
         let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = parallel_map_with_workers(items.clone(), 1, |x| x + 7);
+        let pooled = parallel_map_with_workers(items, 8, |x| x + 7);
+        assert_eq!(serial, pooled);
     }
 
     #[test]

@@ -26,9 +26,16 @@ pub fn expected_random_ws(ws: &[f64]) -> f64 {
     ws.iter().sum::<f64>() / ws.len() as f64
 }
 
-/// Percentage improvement of `a` over `b`.
+/// Percentage improvement of `a` over `b`; NaN when either input is
+/// non-finite or the baseline is zero (the same guard as
+/// [`crate::report::pct_over`], so a degenerate baseline can't turn into a
+/// spurious ±inf improvement).
 pub fn pct_improvement(a: f64, b: f64) -> f64 {
-    100.0 * (a - b) / b
+    if !a.is_finite() || !b.is_finite() || b == 0.0 {
+        f64::NAN
+    } else {
+        100.0 * (a - b) / b
+    }
 }
 
 #[cfg(test)]
@@ -58,6 +65,15 @@ mod tests {
     fn improvement_math() {
         assert!((pct_improvement(1.1, 1.0) - 10.0).abs() < 1e-9);
         assert!(pct_improvement(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn improvement_guards_degenerate_baselines() {
+        // A zero or non-finite baseline used to yield ±inf/NaN arithmetic
+        // downstream; now it is an explicit NaN.
+        assert!(pct_improvement(1.0, 0.0).is_nan());
+        assert!(pct_improvement(1.0, f64::NAN).is_nan());
+        assert!(pct_improvement(f64::INFINITY, 1.0).is_nan());
     }
 
     #[test]

@@ -10,10 +10,14 @@
 use crate::job::JobPool;
 use crate::schedule::{Coschedule, Schedule};
 use crate::ws::{weighted_speedup, SoloRates};
+use serde::Serialize;
 use smtsim::{MachineConfig, Processor, TimesliceStats};
 
 /// Everything measured while running one full rotation of a schedule.
-#[derive(Clone, Debug)]
+///
+/// Serializable and comparable so the replay harness can prove two runs
+/// byte-identical.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct RotationStats {
     /// Per-slice hardware-counter snapshots, in execution order.
     pub slices: Vec<TimesliceStats>,

@@ -40,7 +40,9 @@ impl ScheduleSample {
     /// Condenses one (or more) rotations of counters into a sample.
     ///
     /// # Panics
-    /// Panics if `rotations` is empty.
+    /// Panics if `rotations` is empty, or if the rotations cover zero cycles
+    /// — a zero-cycle sample has no counters to condense, and quietly
+    /// reporting IPC 0 for it would poison the predictor's ranking.
     pub fn from_rotations(schedule: &Schedule, rotations: &[RotationStats]) -> Self {
         assert!(!rotations.is_empty(), "need at least one sampled rotation");
         let mut cycles = 0u64;
@@ -60,11 +62,22 @@ impl ScheduleSample {
                 slice_div.push((fp_pct - int_pct).abs());
             }
         }
+        assert!(
+            cycles > 0,
+            "schedule {} sampled over zero cycles",
+            schedule.paper_notation()
+        );
+        #[cfg(feature = "check-invariants")]
+        for rot in rotations {
+            for s in &rot.slices {
+                smtsim::invariants::assert_timeslice(s);
+            }
+        }
         let fq = conflicts.pct(smtsim::counters::Resource::FpQueue, cycles);
         let fp = conflicts.pct(smtsim::counters::Resource::FpUnits, cycles);
         ScheduleSample {
             notation: schedule.paper_notation(),
-            ipc: committed as f64 / cycles.max(1) as f64,
+            ipc: committed as f64 / cycles as f64,
             allconf: conflicts.all_conflicts_pct(cycles),
             dcache: cache.dl1_hit_pct(),
             fq,
@@ -173,6 +186,19 @@ mod tests {
             samples[1].sum2 < samples[0].sum2,
             "mixing FP and integer jobs should lower FP conflicts: {samples:#?}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "sampled over zero cycles")]
+    fn zero_cycle_rotation_is_rejected() {
+        // A rotation whose slices cover zero cycles used to be masked by
+        // `cycles.max(1)` and reported as a (garbage) IPC-0 sample.
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        let rot = RotationStats {
+            slices: vec![smtsim::TimesliceStats::default()],
+            tuples: vec![],
+        };
+        let _ = ScheduleSample::from_rotations(&s, &[rot]);
     }
 
     #[test]

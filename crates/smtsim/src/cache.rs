@@ -131,11 +131,7 @@ pub struct CacheStats {
 impl CacheStats {
     /// L1 data-cache hit rate in percent; 100.0 when there were no references.
     pub fn dl1_hit_pct(&self) -> f64 {
-        if self.dl1_refs == 0 {
-            100.0
-        } else {
-            100.0 * (self.dl1_refs - self.dl1_misses) as f64 / self.dl1_refs as f64
-        }
+        crate::stats::hit_pct(self.dl1_refs, self.dl1_misses)
     }
 
     /// Accumulates another timeslice's counts into `self`.

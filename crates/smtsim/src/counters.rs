@@ -105,6 +105,12 @@ impl ConflictCounters {
     }
 
     /// Percentage of `cycles` on which resource `r` conflicted.
+    ///
+    /// `cycles` must be the length of the interval these counts were taken
+    /// over; a zero interval reports 0%. The engine guarantees each count is
+    /// at most the interval length, so the result is in `[0, 100]` for a
+    /// matched interval — but the division is not clamped, and passing a
+    /// shorter interval than the counts cover reports over 100%.
     pub fn pct(&self, r: Resource, cycles: u64) -> f64 {
         if cycles == 0 {
             0.0
@@ -120,9 +126,16 @@ impl ConflictCounters {
     }
 
     /// Accumulates another interval's counts.
+    ///
+    /// Panics (in all build profiles) if a counter would wrap: a silent
+    /// wrap-around would deflate `AllConf` for the rest of the run, which is
+    /// far worse than stopping.
     pub fn merge(&mut self, other: &ConflictCounters) {
         for r in Resource::ALL {
-            *self.get_mut(r) += other.get(r);
+            let slot = self.get_mut(r);
+            *slot = slot
+                .checked_add(other.get(r))
+                .unwrap_or_else(|| panic!("conflict counter `{r}` overflowed u64 in merge"));
         }
     }
 }
@@ -180,6 +193,31 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.int_units, 3);
         assert_eq!(a.ls_ports, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict counter `ls_ports` overflowed")]
+    fn merge_overflow_panics_with_counter_name() {
+        let mut a = ConflictCounters {
+            ls_ports: u64::MAX,
+            ..Default::default()
+        };
+        let b = ConflictCounters {
+            ls_ports: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+    }
+
+    #[test]
+    fn pct_is_unclamped_for_mismatched_intervals() {
+        // Counts taken over a longer interval than the divisor: the quotient
+        // exceeds 100% rather than being silently clamped.
+        let c = ConflictCounters {
+            int_queue: 150,
+            ..Default::default()
+        };
+        assert!((c.pct(Resource::IntQueue, 100) - 150.0).abs() < 1e-9);
     }
 
     #[test]

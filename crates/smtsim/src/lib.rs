@@ -64,6 +64,7 @@ pub mod context;
 pub mod counters;
 pub mod fetch;
 pub mod fu;
+pub mod invariants;
 pub mod observe;
 pub mod pipeline;
 pub mod processor;
@@ -75,6 +76,7 @@ pub mod trace;
 
 pub use config::{BranchConfig, CacheConfig, FetchPolicy, Latencies, MachineConfig};
 pub use counters::ConflictCounters;
+pub use invariants::InvariantViolation;
 pub use observe::{NopObserver, Observer, StageOccupancy};
 pub use processor::Processor;
 pub use stats::{ThreadStats, TimesliceStats};

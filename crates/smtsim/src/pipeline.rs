@@ -61,6 +61,9 @@ struct ContextState {
     preissue: usize,
     /// Instructions fetched but not completed (window occupancy).
     inflight: usize,
+    /// Instructions issued to functional units this timeslice (for the
+    /// fetched >= issued >= committed conservation check).
+    issued: u64,
     /// Branches fetched but not yet resolved (for BRCOUNT).
     unresolved_branches: usize,
     /// Loads in flight that missed the L1 D-cache (for MISSCOUNT).
@@ -84,6 +87,7 @@ impl ContextState {
             finished: false,
             preissue: 0,
             inflight: 0,
+            issued: 0,
             unresolved_branches: 0,
             outstanding_misses: 0,
             seq: 0,
@@ -290,6 +294,8 @@ impl Engine {
             if self.observer.is_some() {
                 self.observe_cycle();
             }
+            #[cfg(feature = "check-invariants")]
+            self.check_cycle_invariants();
             self.now += 1;
             self.rr_cursor = (self.rr_cursor + 1) % self.contexts.len();
         }
@@ -306,7 +312,90 @@ impl Engine {
         if let Some(obs) = self.observer.as_mut() {
             obs.timeslice_end(&stats);
         }
+        #[cfg(feature = "check-invariants")]
+        self.assert_timeslice_invariants(&stats);
         stats
+    }
+
+    /// Per-cycle structural checks (`check-invariants` builds only): shared
+    /// queues and register pools within capacity, per-thread windows within
+    /// the configured cap.
+    #[cfg(feature = "check-invariants")]
+    fn check_cycle_invariants(&self) {
+        use crate::invariants::InvariantViolation;
+        let fail = |thread: Option<usize>, counter: &'static str, detail: String| -> ! {
+            panic!(
+                "{}",
+                InvariantViolation {
+                    cycle: self.now,
+                    thread,
+                    counter,
+                    detail,
+                }
+            )
+        };
+        for (name, occ, cap) in [
+            ("int_queue", self.int_q.len(), self.cfg.int_queue),
+            ("fp_queue", self.fp_q.len(), self.cfg.fp_queue),
+            ("int_regs", self.int_regs.in_use(), self.cfg.int_regs),
+            ("fp_regs", self.fp_regs.in_use(), self.cfg.fp_regs),
+        ] {
+            if occ > cap {
+                fail(
+                    None,
+                    name,
+                    format!("occupancy ({occ}) exceeds configured capacity ({cap})"),
+                );
+            }
+        }
+        for (i, c) in self.contexts.iter().enumerate() {
+            if c.inflight > self.cfg.max_inflight_per_thread {
+                fail(
+                    Some(i),
+                    "inflight",
+                    format!(
+                        "in-flight instructions ({}) exceed the per-thread window ({})",
+                        c.inflight, self.cfg.max_inflight_per_thread
+                    ),
+                );
+            }
+            if c.decode.len() > DECODE_CAP {
+                fail(
+                    Some(i),
+                    "decode",
+                    format!(
+                        "decode buffer ({}) exceeds its capacity ({DECODE_CAP})",
+                        c.decode.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Per-timeslice conservation checks (`check-invariants` builds only):
+    /// the engine-internal fetched >= issued >= committed chain per thread,
+    /// then every law of [`crate::invariants::check_timeslice`].
+    #[cfg(feature = "check-invariants")]
+    fn assert_timeslice_invariants(&self, stats: &TimesliceStats) {
+        use crate::invariants::InvariantViolation;
+        for (i, c) in self.contexts.iter().enumerate() {
+            let (fetched, issued, committed) = (c.stats.fetched, c.issued, c.stats.committed);
+            if committed > issued || issued > fetched {
+                panic!(
+                    "{}",
+                    InvariantViolation {
+                        cycle: stats.cycles,
+                        thread: Some(i),
+                        counter: "issued",
+                        detail: format!(
+                            "conservation fetched >= issued >= committed broken: \
+                             fetched {fetched}, issued {issued}, committed {committed}"
+                        ),
+                    }
+                );
+            }
+        }
+        crate::invariants::assert_timeslice(stats);
     }
 
     /// Delivers this cycle's events to the registered observer: one
@@ -484,12 +573,15 @@ impl Engine {
             InstrClass::FpDiv => lat.fp_div,
             InstrClass::Branch => lat.branch,
             InstrClass::Load => {
-                let l = self.dtlb.access(e.addr) + self.caches.access_data(e.addr);
-                dcache_miss = l > self.cfg.dcache.hit_latency;
+                // The miss test must look at the cache latency alone: a DTLB
+                // refill on an L1-hit load is not a data-cache miss.
+                let tlb_lat = self.dtlb.access(e.addr);
+                let mem_lat = self.caches.access_data(e.addr);
+                dcache_miss = mem_lat > self.cfg.dcache.hit_latency;
                 let t = &mut self.contexts[e.ctx as usize].stats;
                 t.dl1_refs += 1;
                 t.dl1_misses += u64::from(dcache_miss);
-                l
+                tlb_lat + mem_lat
             }
             InstrClass::Store => {
                 // Stores retire through the write buffer: the thread does not
@@ -505,6 +597,7 @@ impl Engine {
         let done = self.now + latency.max(1);
         let ctx = &mut self.contexts[e.ctx as usize];
         ctx.preissue -= 1;
+        ctx.issued += 1;
         if dcache_miss {
             ctx.outstanding_misses += 1;
         }
@@ -666,11 +759,16 @@ impl Engine {
             // I-cache / I-TLB access on line crossing.
             let line = instr.pc / line_bytes;
             if line != self.contexts[ci].last_line {
+                // Book the per-thread miss off the hierarchy counter delta:
+                // the access latency is not a miss indicator (a nonzero L1I
+                // hit latency would misclassify every hit as a miss).
+                let il1_misses_before = self.caches.stats.il1_misses;
                 let ic_lat = self.caches.access_instr(instr.pc);
+                let icache_missed = self.caches.stats.il1_misses > il1_misses_before;
                 let lat = self.itlb.access(instr.pc) + ic_lat;
                 let ctx = &mut self.contexts[ci];
                 ctx.stats.il1_refs += 1;
-                ctx.stats.il1_misses += u64::from(ic_lat > 0);
+                ctx.stats.il1_misses += u64::from(icache_missed);
                 ctx.last_line = line;
                 if lat > 0 {
                     ctx.pending = Some(instr);
@@ -1224,6 +1322,77 @@ mod tests {
             "mispredictions must cost throughput: {} vs {}",
             r.total_ipc(),
             p.total_ipc()
+        );
+    }
+
+    /// Regression: a DTLB refill on an L1-hit load used to be booked as a
+    /// data-cache miss (the miss test looked at the combined TLB + cache
+    /// latency). The stream below touches 256 pages — double the 128-entry
+    /// DTLB, so every access misses the TLB in steady state — but only one
+    /// line per page, laid out so all 256 lines stay resident in the 2-way L1D.
+    #[test]
+    fn dtlb_refill_on_l1_hit_is_not_a_dcache_miss() {
+        struct PageWalker {
+            p: u64,
+            id: StreamId,
+        }
+        impl InstructionSource for PageWalker {
+            fn next_instr(&mut self) -> Fetch {
+                self.p = (self.p + 1) % 256;
+                // One line per page; the in-page offset spreads the lines
+                // across L1D sets so that exactly two pages share each set.
+                let addr = self.p * 8192 + (self.p % 128) * 64;
+                Fetch::Instr(Instr::load(self.id.tag_addr(self.p * 4 % 4096), addr, 0))
+            }
+            fn id(&self) -> StreamId {
+                self.id
+            }
+        }
+        let mut e = engine(1);
+        let mut s = PageWalker {
+            p: 0,
+            id: StreamId(1),
+        };
+        let _warmup = e.run_timeslice(&mut [&mut s], 200_000);
+        let stats = e.run_timeslice(&mut [&mut s], 100_000);
+        assert!(stats.dtlb.misses > 0, "stream must thrash the DTLB");
+        assert_eq!(
+            stats.threads[0].dl1_misses, stats.cache.dl1_misses,
+            "per-thread and hierarchy dl1 miss counts must agree"
+        );
+        assert!(
+            2 * stats.threads[0].dl1_misses < stats.threads[0].dl1_refs,
+            "L1-resident loads must not be booked as misses: {} of {} refs",
+            stats.threads[0].dl1_misses,
+            stats.threads[0].dl1_refs
+        );
+    }
+
+    /// Regression: per-thread I-cache misses used to be inferred from a
+    /// nonzero access latency, so any configuration with a nonzero L1I hit
+    /// latency booked every line crossing as a miss.
+    #[test]
+    fn nonzero_icache_hit_latency_is_not_a_miss() {
+        let mut cfg = MachineConfig::alpha21264_like(1);
+        cfg.icache.hit_latency = 2;
+        let mut e = Engine::new(cfg);
+        let mut s = AluStream {
+            pc: 0,
+            id: StreamId(1),
+        };
+        let _warmup = e.run_timeslice(&mut [&mut s], 20_000);
+        let stats = e.run_timeslice(&mut [&mut s], 10_000);
+        assert!(
+            stats.threads[0].il1_refs > 0,
+            "the 4 KiB pc loop must cross cache lines"
+        );
+        assert_eq!(
+            stats.threads[0].il1_misses, stats.cache.il1_misses,
+            "per-thread and hierarchy il1 miss counts must agree"
+        );
+        assert_eq!(
+            stats.threads[0].il1_misses, 0,
+            "a 64-line resident loop must not miss after warmup"
         );
     }
 }

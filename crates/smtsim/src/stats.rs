@@ -7,6 +7,20 @@ use crate::tlb::TlbStats;
 use crate::trace::{InstrClass, StreamId};
 use serde::{Deserialize, Serialize};
 
+/// Hit rate in percent from reference and miss counts; 100.0 when there were
+/// no references (a stream that never touched the cache never missed).
+///
+/// The one source of truth for hit-rate arithmetic — [`ThreadStats`] and
+/// [`CacheStats`](crate::cache::CacheStats) both delegate here.
+pub fn hit_pct(refs: u64, misses: u64) -> f64 {
+    debug_assert!(misses <= refs, "misses ({misses}) exceed refs ({refs})");
+    if refs == 0 {
+        100.0
+    } else {
+        100.0 * (refs - misses) as f64 / refs as f64
+    }
+}
+
 /// Per-thread execution counts for one timeslice.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ThreadStats {
@@ -65,11 +79,7 @@ impl ThreadStats {
     /// This thread's own L1 data-cache hit rate in percent (100 when the
     /// thread made no references).
     pub fn dl1_hit_pct(&self) -> f64 {
-        if self.dl1_refs == 0 {
-            100.0
-        } else {
-            100.0 * (self.dl1_refs - self.dl1_misses) as f64 / self.dl1_refs as f64
-        }
+        hit_pct(self.dl1_refs, self.dl1_misses)
     }
 }
 
@@ -112,9 +122,15 @@ impl TimesliceStats {
         self.threads.iter().find(|t| t.stream == id)
     }
 
-    /// Committed FP arithmetic fraction of committed arithmetic instructions,
-    /// in percent of all committed instructions (the Diversity predictor's
-    /// inputs). Returns `(fp_pct, int_pct)`.
+    /// Committed FP and integer *arithmetic* instructions in percent of all
+    /// committed instructions (the Diversity predictor's inputs). Returns
+    /// `(fp_pct, int_pct)`.
+    ///
+    /// The denominator is every committed instruction, but loads, stores, and
+    /// branches belong to neither numerator — so `fp_pct + int_pct` is the
+    /// arithmetic fraction of the mix and is strictly below 100 whenever any
+    /// memory or control instruction committed. Callers must not assume the
+    /// two percentages are complementary. Both are 0 when nothing committed.
     pub fn fp_int_mix_pct(&self) -> (f64, f64) {
         let total = self.total_committed();
         if total == 0 {
@@ -161,6 +177,54 @@ mod tests {
         let (fp, int) = s.fp_int_mix_pct();
         assert!((fp - 20.0).abs() < 1e-9);
         assert!((int - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_pct_excludes_memory_and_control_ops() {
+        // 100 committed: 30 FpAdd, 50 IntAlu, and 20 loads/branches. The
+        // misc ops dilute both percentages; they do not sum to 100.
+        let mut t = thread(100, 30, 50);
+        t.class_counts[5] = 12; // Load
+        t.class_counts[7] = 8; // Branch
+        let s = TimesliceStats {
+            cycles: 100,
+            threads: vec![t],
+            ..Default::default()
+        };
+        let (fp, int) = s.fp_int_mix_pct();
+        assert!((fp - 30.0).abs() < 1e-9);
+        assert!((int - 50.0).abs() < 1e-9);
+        assert!(fp + int < 100.0);
+    }
+
+    #[test]
+    fn mix_pct_zero_when_nothing_committed() {
+        let s = TimesliceStats {
+            cycles: 100,
+            threads: vec![thread(0, 0, 0)],
+            ..Default::default()
+        };
+        assert_eq!(s.fp_int_mix_pct(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn hit_pct_shared_helper() {
+        assert_eq!(hit_pct(0, 0), 100.0);
+        assert!((hit_pct(200, 50) - 75.0).abs() < 1e-9);
+        // The two public call sites must agree with the helper (they used to
+        // be independent copies that could drift apart).
+        let t = ThreadStats {
+            dl1_refs: 8,
+            dl1_misses: 2,
+            ..Default::default()
+        };
+        let c = crate::cache::CacheStats {
+            dl1_refs: 8,
+            dl1_misses: 2,
+            ..Default::default()
+        };
+        assert_eq!(t.dl1_hit_pct(), hit_pct(8, 2));
+        assert_eq!(c.dl1_hit_pct(), hit_pct(8, 2));
     }
 
     #[test]

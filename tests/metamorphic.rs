@@ -1,0 +1,196 @@
+//! Metamorphic properties of the schedule algebra and the paper's metrics:
+//! relations that must hold between *pairs* of computations, no matter the
+//! inputs. These catch bugs that single-run sanity checks cannot — an
+//! accounting error that skews every run equally still breaks the relation
+//! between a run and its transformed twin.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use smt_symbiosis::sos::enumerate::{
+    count_distinct, enumerate_all, random_schedule, sample_distinct,
+};
+use smt_symbiosis::sos::runner::{RotationStats, Runner};
+use smt_symbiosis::sos::sample::ScheduleSample;
+use smt_symbiosis::sos::schedule::Schedule;
+use smt_symbiosis::sos::ws::{weighted_speedup, weighted_speedup_subset, SoloRates};
+use smt_symbiosis::sos::JobPool;
+use smt_symbiosis::workloads::{Benchmark, JobSpec};
+use smtsim::MachineConfig;
+use std::collections::HashMap;
+
+/// A per-thread workload: committed instructions and a positive solo IPC.
+fn thread_vec() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    proptest::collection::vec((0u64..2_000_000, 0.05f64..4.0), 2..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// WS is a sum over jobs, so relabeling the jobs must not change it:
+    /// permute (committed, solo) pairs together and WS(t) stays fixed.
+    #[test]
+    fn ws_is_invariant_under_thread_permutation(
+        threads in thread_vec(),
+        perm_seed in any::<u64>(),
+        cycles in 1_000u64..2_000_000,
+    ) {
+        let base = {
+            let committed: Vec<u64> = threads.iter().map(|t| t.0).collect();
+            let solo = SoloRates::new(threads.iter().map(|t| t.1).collect());
+            weighted_speedup(&committed, cycles, &solo)
+        };
+        let mut shuffled = threads.clone();
+        shuffled.shuffle(&mut SmallRng::seed_from_u64(perm_seed));
+        let permuted = {
+            let committed: Vec<u64> = shuffled.iter().map(|t| t.0).collect();
+            let solo = SoloRates::new(shuffled.iter().map(|t| t.1).collect());
+            weighted_speedup(&committed, cycles, &solo)
+        };
+        // Summation order changes, so allow float round-off but nothing more.
+        prop_assert!((base - permuted).abs() <= 1e-9 * base.abs().max(1.0),
+            "WS changed under permutation: {base} vs {permuted}");
+    }
+
+    /// The generalized reorder law for the subset form: reordering the
+    /// (thread, committed) pairs of a coschedule leaves its WS unchanged.
+    #[test]
+    fn ws_subset_is_invariant_under_reordering(
+        threads in thread_vec(),
+        perm_seed in any::<u64>(),
+        cycles in 1_000u64..2_000_000,
+    ) {
+        let solo = SoloRates::new(threads.iter().map(|t| t.1).collect());
+        let ids: Vec<usize> = (0..threads.len()).collect();
+        let committed: Vec<u64> = threads.iter().map(|t| t.0).collect();
+        let base = weighted_speedup_subset(&ids, &committed, cycles, &solo);
+
+        let mut pairs: Vec<(usize, u64)> = ids.iter().copied().zip(committed).collect();
+        pairs.shuffle(&mut SmallRng::seed_from_u64(perm_seed));
+        let (rids, rcommitted): (Vec<usize>, Vec<u64>) = pairs.into_iter().unzip();
+        let permuted = weighted_speedup_subset(&rids, &rcommitted, cycles, &solo);
+        prop_assert!((base - permuted).abs() <= 1e-9 * base.abs().max(1.0),
+            "subset WS changed under reordering: {base} vs {permuted}");
+    }
+}
+
+/// Every enumeration must match the paper's closed-form coschedule count
+/// (Table 2): partitions `x!/((y!)^(x/y) (x/y)!)` for swap-all shapes with
+/// `y | x`, circular orders `(x-1)!/2` otherwise.
+#[test]
+fn enumeration_count_matches_closed_form() {
+    for (x, y, z) in [
+        (4, 2, 2),
+        (5, 2, 2),
+        (6, 2, 2),
+        (6, 3, 3),
+        (6, 3, 1),
+        (8, 4, 4),
+    ] {
+        let enumerated = enumerate_all(x, y, z);
+        assert_eq!(
+            enumerated.len() as u128,
+            count_distinct(x, y, z),
+            "Jmn({x},{y},{z})"
+        );
+        // All enumerated schedules really are distinct under tuple-set
+        // identity.
+        let keys: std::collections::HashSet<_> =
+            enumerated.iter().map(Schedule::canonical_key).collect();
+        assert_eq!(keys.len(), enumerated.len(), "Jmn({x},{y},{z})");
+    }
+}
+
+/// Uniform random orders must hit every schedule-identity class of
+/// `Jsb(6,3,3)` at close to the uniform rate: each of the 10 classes covers
+/// the same number of thread orders, so class frequencies are a direct
+/// uniformity check on `random_schedule`.
+#[test]
+fn random_schedules_cover_identity_classes_uniformly() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_c0de);
+    let draws = 2_000usize;
+    let mut counts: HashMap<_, usize> = HashMap::new();
+    for _ in 0..draws {
+        let s = random_schedule(6, 3, 3, &mut rng);
+        *counts.entry(s.canonical_key()).or_default() += 1;
+    }
+    assert_eq!(
+        counts.len() as u128,
+        count_distinct(6, 3, 3),
+        "2000 draws must reach all 10 classes"
+    );
+    // Expected 200 per class; [140, 260] is over four binomial standard
+    // deviations out, and the fixed seed keeps the test deterministic.
+    for (key, n) in counts {
+        assert!(
+            (140..=260).contains(&n),
+            "class {key:?} drawn {n} times (expected ~200)"
+        );
+    }
+}
+
+/// `sample_distinct` must deliver exactly-distinct schedules under the
+/// paper's notation equivalence, even from a much larger space.
+#[test]
+fn sampled_schedules_are_distinct_under_paper_identity() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let samples = sample_distinct(8, 4, 1, 50, &mut rng);
+    assert_eq!(samples.len(), 50);
+    let keys: std::collections::HashSet<_> = samples.iter().map(Schedule::canonical_key).collect();
+    assert_eq!(
+        keys.len(),
+        50,
+        "sampled schedules must be pairwise distinct"
+    );
+}
+
+/// Condensing counters into a `ScheduleSample` must not depend on how the
+/// slices are grouped into rotations: one rotation of 2N slices, two
+/// rotations of N, and 2N single-slice rotations all carry the same
+/// counters in the same order, so IPC, AllConf, and every other field must
+/// be bit-equal.
+#[test]
+fn sample_is_invariant_under_rotation_regrouping() {
+    let pool = JobPool::from_specs(
+        &[
+            JobSpec::single(Benchmark::Fp),
+            JobSpec::single(Benchmark::Mg),
+            JobSpec::single(Benchmark::Gcc),
+            JobSpec::single(Benchmark::Go),
+        ],
+        3,
+    );
+    let mut runner = Runner::new(MachineConfig::alpha21264_like(2), pool, 4_000);
+    let schedule = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+    let rotations = runner.run_schedule(&schedule, 2);
+    let base = ScheduleSample::from_rotations(&schedule, &rotations);
+
+    let merged = RotationStats {
+        slices: rotations.iter().flat_map(|r| r.slices.clone()).collect(),
+        tuples: rotations.iter().flat_map(|r| r.tuples.clone()).collect(),
+    };
+    assert_eq!(
+        base,
+        ScheduleSample::from_rotations(&schedule, &[merged]),
+        "merging rotations must not change the sample"
+    );
+
+    let singles: Vec<RotationStats> = rotations
+        .iter()
+        .flat_map(|r| {
+            r.slices
+                .iter()
+                .zip(&r.tuples)
+                .map(|(slice, tuple)| RotationStats {
+                    slices: vec![slice.clone()],
+                    tuples: vec![tuple.clone()],
+                })
+        })
+        .collect();
+    assert_eq!(
+        base,
+        ScheduleSample::from_rotations(&schedule, &singles),
+        "splitting every slice into its own rotation must not change the sample"
+    );
+}

@@ -57,6 +57,30 @@ proptest! {
         prop_assert!(stats.branches.mispredicted <= stats.branches.predicted);
     }
 
+    /// The full `sim-check` law set — including the per-thread-to-hierarchy
+    /// cache-counter sums the hand-written assertions above don't cover.
+    /// (The per-thread/global dl1 agreement here is what exposed the DTLB
+    /// refill being booked as a data-cache miss.)
+    #[test]
+    fn check_timeslice_accepts_arbitrary_workloads(
+        benches in proptest::collection::vec(any_benchmark(), 1..4),
+        seed in any::<u64>(),
+        cycles in 2_000u64..8_000,
+    ) {
+        let mut cpu = Processor::new(MachineConfig::alpha21264_like(benches.len()));
+        let mut streams: Vec<SyntheticStream> = benches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u32), seed ^ i as u64))
+            .collect();
+        let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> =
+            streams.iter_mut().map(|s| s as _).collect();
+        let stats = cpu.run_timeslice(&mut refs, cycles);
+        if let Err(v) = smtsim::invariants::check_timeslice(&stats) {
+            prop_assert!(false, "{v}");
+        }
+    }
+
     #[test]
     fn simulation_is_a_pure_function_of_inputs(
         bench in any_benchmark(),
