@@ -1,0 +1,50 @@
+//! Criterion benchmark for the evaluation cache: a full
+//! `evaluate_experiment` on Jsb(4,2,2) cold (cache disabled, every simulator
+//! cycle re-executed) versus warm (cache primed, every calibration, sample,
+//! and symbios lookup served from memory). The warm/cold ratio is the
+//! speedup the figure binaries see on a re-run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sos_core::sos::SosScheduler;
+use sos_core::{cache, ExperimentSpec, SosConfig};
+
+fn bench_config() -> SosConfig {
+    SosConfig {
+        // Heavily reduced scale: the cold path simulates every cycle, and
+        // criterion runs the closure many times.
+        cycle_scale: 50_000,
+        calibration_cycles: 5_000,
+        ..SosConfig::default()
+    }
+}
+
+fn spec() -> ExperimentSpec {
+    "Jsb(4,2,2)".parse().expect("valid label")
+}
+
+fn cold_evaluation(c: &mut Criterion) {
+    cache::disable();
+    let cfg = bench_config();
+    let spec = spec();
+    c.bench_function("evaluate_experiment_cold_4_2_2", |b| {
+        b.iter(|| SosScheduler::evaluate_experiment(&spec, &cfg));
+    });
+}
+
+fn warm_evaluation(c: &mut Criterion) {
+    let cfg = bench_config();
+    let spec = spec();
+    cache::clear();
+    cache::enable();
+    // Prime: the first evaluation fills the cache; iterations then measure
+    // the pure lookup-and-merge path.
+    let _ = SosScheduler::evaluate_experiment(&spec, &cfg);
+    c.bench_function("evaluate_experiment_warm_4_2_2", |b| {
+        b.iter(|| SosScheduler::evaluate_experiment(&spec, &cfg));
+    });
+    cache::disable();
+    cache::clear();
+}
+
+criterion_group!(benches, cold_evaluation, warm_evaluation);
+criterion_main!(benches);

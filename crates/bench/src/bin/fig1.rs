@@ -10,6 +10,7 @@ use sos_core::ExperimentSpec;
 fn main() {
     let scale = sos_bench::scale_from_args();
     let cfg = sos_bench::config(scale);
+    sos_bench::init_cache();
     eprintln!("# running 13 experiments at 1/{scale} paper scale ...");
 
     let specs = ExperimentSpec::all_paper_experiments();

@@ -13,6 +13,7 @@ use sos_core::{ExperimentSpec, PredictorKind};
 fn main() {
     let scale = sos_bench::scale_from_args();
     let cfg = sos_bench::config(scale);
+    sos_bench::init_cache();
     eprintln!("# running 13 experiments at 1/{scale} paper scale ...");
 
     let specs = ExperimentSpec::all_paper_experiments();

@@ -29,6 +29,7 @@ fn main() {
         .nth(3)
         .and_then(|a| a.parse().ok())
         .unwrap_or(3);
+    sos_bench::init_cache();
     eprintln!(
         "# open system at 1/{scale} paper scale, {num_jobs} jobs x {seeds} seeds per level ..."
     );
@@ -56,7 +57,7 @@ fn main() {
             // EXPERIMENTS.md); the paper likewise ran SOS with its best.
             cfg.predictor = sos_core::PredictorKind::Ipc;
             cfg.seed = 0xF150 + 7919 * seed;
-            let solo = calibrate_benchmarks(cfg.smt, 60_000, cfg.seed);
+            let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
             // Self-calibrate against the capacity this seed's job population
             // actually sustains, then offer ~115% of it: over the finite
             // trace the resident population ramps into the paper's

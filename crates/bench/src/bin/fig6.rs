@@ -31,6 +31,7 @@ fn main() {
     // Offered load as a fraction of measured capacity; λ = T / (ρ · capacity).
     let rhos = vec![0.90, 1.00, 1.10, 1.20];
 
+    sos_bench::init_cache();
     eprintln!("# open system at SMT 3, 1/{scale} paper scale, {num_jobs} jobs x {seeds} seeds ...");
     println!("Figure 6 — response-time improvement vs arrival rate (SMT 3)");
     println!(
@@ -52,7 +53,7 @@ fn main() {
             cfg.num_jobs = num_jobs;
             cfg.predictor = sos_core::PredictorKind::Ipc;
             cfg.seed = 0xF166 + 104_729 * seed;
-            let solo = calibrate_benchmarks(cfg.smt, 60_000, cfg.seed);
+            let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
             let capacity = measure_capacity(&cfg, &solo, 24);
             cfg.mean_interarrival = (mean_job_cycles as f64 / (rho * capacity)) as u64;
             lambda_avg += cfg.mean_interarrival / seeds;

@@ -16,11 +16,13 @@ fn main() {
     let scale = sos_bench::scale_from_args();
     let json_path = std::env::args().nth(2);
     let cfg = sos_bench::config(scale);
+    sos_bench::init_cache();
     eprintln!("# running 13 experiments at 1/{scale} paper scale ...");
 
     let specs = ExperimentSpec::all_paper_experiments();
     let reports =
         sos_bench::parallel_map(specs, |spec| SosScheduler::evaluate_experiment(&spec, &cfg));
+    sos_bench::print_cache_stats();
 
     println!(
         "Predictor league table over {} experiments (% vs random expectation)",

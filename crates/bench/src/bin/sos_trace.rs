@@ -115,11 +115,17 @@ fn main() -> ExitCode {
         args.scale
     );
 
+    // In-memory cache only (no disk store): the point here is surfacing the
+    // sos.cache.hits / sos.cache.misses counters in the exported metrics
+    // without a warm disk cache eliding the simulator spans being traced.
+    sos_core::cache::enable();
+
     telemetry::reset();
     telemetry::enable();
     let report = SosScheduler::evaluate_experiment(&args.spec, &cfg);
     telemetry::disable();
     let snapshot = telemetry::drain();
+    sos_bench::print_cache_stats();
 
     if let Some(path) = &args.trace_path {
         if let Err(code) = write_file(path, &snapshot.chrome_trace_json()) {

@@ -18,6 +18,7 @@ fn main() {
         ..SosConfig::default()
     };
 
+    sos_bench::init_cache();
     eprintln!("# running {spec} at 1/{scale} paper scale ...");
     let report = SosScheduler::evaluate_experiment(&spec, &cfg);
 

@@ -14,6 +14,7 @@ use sos_core::ExperimentSpec;
 fn main() {
     let scale = sos_bench::scale_from_args();
     let cfg = sos_bench::config(scale);
+    sos_bench::init_cache();
     eprintln!("# running warmstart comparisons at 1/{scale} paper scale ...");
 
     // (swap-all baseline, swap-one big timeslice, swap-one little timeslice)

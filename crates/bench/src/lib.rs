@@ -67,68 +67,42 @@ pub fn print_predictor_bars(report: &ExperimentReport) {
     );
 }
 
-/// Runs `f` over `items` on a pool of OS threads (experiments are
-/// independent and single-threaded, so this scales to the 13 paper
-/// configurations on a multicore host). The fan-out is capped at
-/// [`std::thread::available_parallelism`], so oversubscription does not
-/// distort per-experiment timing on small hosts. Results keep input order.
-pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    parallel_map_with_workers(items, workers, f)
+// The parallel-map helpers moved into `sos_core` (the scheduler itself now
+// evaluates candidates concurrently); re-exported here so the binaries keep
+// their old import paths.
+pub use sos_core::par::{parallel_map, parallel_map_with_workers};
+
+/// Enables the process-wide evaluation cache for an experiment binary and
+/// attaches the on-disk store.
+///
+/// * `SOS_CACHE=off` leaves the cache disabled entirely (forces a cold run).
+/// * `SOS_CACHE_DIR=<dir>` overrides the store directory (default
+///   `results/cache/`).
+///
+/// A disk failure degrades to the in-memory layer with a note on stderr;
+/// the run itself is unaffected (caching is best-effort).
+pub fn init_cache() {
+    if std::env::var("SOS_CACHE")
+        .map(|v| v == "off")
+        .unwrap_or(false)
+    {
+        return;
+    }
+    sos_core::cache::enable();
+    let dir = std::env::var("SOS_CACHE_DIR").unwrap_or_else(|_| "results/cache".to_string());
+    match sos_core::cache::attach_disk(std::path::Path::new(&dir)) {
+        Ok(loaded) => eprintln!("# cache: {loaded} entries loaded from {dir}"),
+        Err(e) => eprintln!("# cache: disk store unavailable ({e}); in-memory only"),
+    }
 }
 
-/// [`parallel_map`] with an explicit worker count. Results keep input order
-/// regardless of `workers`, so a run is reproducible across pool sizes — the
-/// replay tests pin this by comparing `workers = 1` against `workers = N`.
-pub fn parallel_map_with_workers<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
-where
-    T: Send,
-    U: Send,
-    F: Fn(T) -> U + Sync,
-{
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let n = items.len();
-    let workers = workers.min(n);
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
+/// Prints the process-wide cache's hit/miss totals to stderr (a no-op while
+/// the cache is disabled, so `SOS_CACHE=off` runs stay quiet).
+pub fn print_cache_stats() {
+    if sos_core::cache::is_enabled() {
+        let stats = sos_core::cache::stats();
+        eprintln!("# cache: {} hits, {} misses", stats.hits, stats.misses);
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = slots[i]
-                    .lock()
-                    .expect("item slot poisoned")
-                    .take()
-                    .expect("each slot is claimed exactly once");
-                let out = f(item);
-                *results[i].lock().expect("result slot poisoned") = Some(out);
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
-        })
-        .collect()
 }
 
 #[cfg(test)]
@@ -158,32 +132,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_order() {
+    fn parallel_map_reexport_preserves_order() {
+        // The implementation (and its full test suite) lives in
+        // `sos_core::par`; this pins the re-exported path binaries use.
         let out = parallel_map(vec![3u64, 1, 4, 1, 5], |x| x * 2);
         assert_eq!(out, vec![6, 2, 8, 2, 10]);
-    }
-
-    #[test]
-    fn parallel_map_empty() {
-        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn explicit_worker_counts_agree() {
-        let items: Vec<u64> = (0..40).collect();
-        let serial = parallel_map_with_workers(items.clone(), 1, |x| x + 7);
-        let pooled = parallel_map_with_workers(items, 8, |x| x + 7);
-        assert_eq!(serial, pooled);
-    }
-
-    #[test]
-    fn parallel_map_handles_more_items_than_cores() {
-        // Far more items than any host's parallelism: exercises the work
-        // queue (each worker handles many items) and order preservation.
-        let items: Vec<u64> = (0..257).collect();
-        let out = parallel_map(items.clone(), |x| x * x);
-        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
-        assert_eq!(out, expect);
+        let serial = parallel_map_with_workers(vec![1u64, 2, 3], 1, |x| x + 7);
+        assert_eq!(serial, vec![8, 9, 10]);
     }
 }

@@ -81,6 +81,18 @@ pub fn sample_distinct<R: Rng>(
     if space <= n as u128 {
         return enumerate_all(x, y, z);
     }
+    // Rejection sampling degrades sharply as n approaches the space size:
+    // the last few draws each need ~space/(space - drawn) attempts, so e.g.
+    // n = 10 of 12 spends most of its time re-drawing already-seen schedules.
+    // When the space is within a small factor of n (and small enough to
+    // enumerate cheaply), enumerate everything and shuffle instead — a
+    // bounded number of RNG calls, still a uniform distinct sample.
+    if space <= 4 * n as u128 && space <= 10_000 {
+        let mut all = enumerate_all(x, y, z);
+        all.shuffle(rng);
+        all.truncate(n);
+        return all;
+    }
     let mut seen = HashSet::new();
     let mut out = Vec::with_capacity(n);
     // The space is much larger than n here, so rejection terminates quickly.
@@ -133,7 +145,7 @@ fn permute(v: &mut [usize], k: usize, f: &mut impl FnMut(&[usize])) {
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     /// The paper's Table 2, column 2 — every row.
     #[test]
@@ -201,6 +213,52 @@ mod tests {
         assert_eq!(sample.len(), 10);
         let keys: HashSet<_> = sample.iter().map(Schedule::canonical_key).collect();
         assert_eq!(keys.len(), 10);
+    }
+
+    /// Counts RNG calls so tests can pin how much randomness sampling draws.
+    struct CountingRng {
+        inner: SmallRng,
+        calls: u64,
+    }
+
+    impl RngCore for CountingRng {
+        fn next_u32(&mut self) -> u32 {
+            self.calls += 1;
+            self.inner.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.calls += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn near_exhaustive_sampling_terminates_with_bounded_draws() {
+        // Jsb(5,2,2) has 12 distinct schedules; asking for 10 of them used to
+        // hit the rejection sampler's worst case (the last draws each expect
+        // ~space/(space - drawn) attempts, unbounded in the tail). The
+        // enumerate-then-shuffle fallback must kick in: RNG usage is bounded
+        // by one shuffle of the space, not by rejection luck.
+        let mut rng = CountingRng {
+            inner: SmallRng::seed_from_u64(42),
+            calls: 0,
+        };
+        let sample = sample_distinct(5, 2, 2, 10, &mut rng);
+        assert_eq!(sample.len(), 10);
+        let keys: HashSet<_> = sample.iter().map(Schedule::canonical_key).collect();
+        assert_eq!(keys.len(), 10, "samples must be distinct");
+        assert!(sample.iter().all(Schedule::is_fair_covering));
+        // A Fisher-Yates shuffle of 12 schedules needs at most one RNG call
+        // per element (plus slack for rejection inside gen_range); rejection
+        // sampling of 10-of-12 would typically need hundreds of calls, each
+        // shuffling a 5-element order.
+        assert!(
+            rng.calls <= 64,
+            "expected bounded RNG usage from the enumerate-then-shuffle \
+             fallback, got {} calls",
+            rng.calls
+        );
     }
 
     #[test]

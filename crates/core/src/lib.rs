@@ -22,6 +22,11 @@
 //!   predictors of §5 (IPC, AllConf, Dcache, FQ, FP, Sum2, Diversity,
 //!   Balance, Composite, Score).
 //! * [`sos`] — the two-phase SOS scheduler itself.
+//! * [`cache`] — content-addressed memoization of deterministic evaluation
+//!   results (calibrations, per-schedule sample/symbios measurements), with
+//!   an optional on-disk JSONL store.
+//! * [`par`] — order-preserving parallel map used to evaluate independent
+//!   candidates and experiments concurrently.
 //! * [`report`] — aggregate reporting (the predictor league table).
 //! * [`hier`] — hierarchical symbiosis (§7): allocating hardware contexts to
 //!   multithreaded jobs.
@@ -41,6 +46,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod dist;
 pub mod enumerate;
 pub mod error;
@@ -49,6 +55,7 @@ pub mod hier;
 pub mod job;
 pub mod naive;
 pub mod opensys;
+pub mod par;
 pub mod predictor;
 pub mod report;
 pub mod runner;

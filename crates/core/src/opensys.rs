@@ -71,6 +71,10 @@ pub struct OpenSystemConfig {
     pub mean_interarrival: u64,
     /// Scheduler clock in cycles.
     pub timeslice: u64,
+    /// Measurement window (per benchmark, doubled for warm-up) used when
+    /// calibrating solo IPCs for the cycles-to-instructions job-length
+    /// conversion; see [`calibrate_benchmarks`].
+    pub calibration_cycles: u64,
     /// Jobs to generate before closing the arrival process (the run
     /// continues until all of them complete).
     pub num_jobs: usize,
@@ -124,6 +128,7 @@ impl OpenSystemConfig {
             mean_job_cycles,
             mean_interarrival,
             timeslice: 5_000,
+            calibration_cycles: 60_000,
             num_jobs: 60,
             sample_schedules: 6,
             predictor: PredictorKind::Score,
@@ -224,17 +229,30 @@ pub fn arrival_trace(cfg: &OpenSystemConfig, solo: &HashMap<Benchmark, f64>) -> 
 
 /// Measures each benchmark's solo IPC on the given machine (used for the
 /// cycles-to-instructions job-length conversion).
+///
+/// The measurement is a pure function of `(smt, cycles, seed)`, so it is
+/// memoized through the process-wide [`crate::cache`] (keyed additionally by
+/// the machine's stable hash) when that cache is enabled.
 pub fn calibrate_benchmarks(smt: usize, cycles: u64, seed: u64) -> HashMap<Benchmark, f64> {
-    let mut cpu = Processor::new(MachineConfig::alpha21264_like(smt));
-    let mut out = HashMap::new();
-    for b in JOB_KINDS {
-        cpu.flush_memory_state();
-        let mut s = b.stream(StreamId(0), seed ^ 0xCA11);
-        let _ = cpu.run_timeslice(&mut [&mut *s], cycles);
-        let stats = cpu.run_timeslice(&mut [&mut *s], cycles);
-        out.insert(b, stats.total_ipc().max(1e-3));
-    }
-    out
+    let machine = MachineConfig::alpha21264_like(smt);
+    let key = crate::cache::bench_ipc_key(machine.stable_hash(), cycles, seed);
+    let rates = crate::cache::bench_rates(&key, || {
+        let mut cpu = Processor::new(machine.clone());
+        JOB_KINDS
+            .iter()
+            .map(|&b| {
+                cpu.flush_memory_state();
+                let mut s = b.stream(StreamId(0), seed ^ 0xCA11);
+                let _ = cpu.run_timeslice(&mut [&mut *s], cycles);
+                let stats = cpu.run_timeslice(&mut [&mut *s], cycles);
+                crate::cache::BenchRate {
+                    bench: b,
+                    ipc: stats.total_ipc().max(1e-3),
+                }
+            })
+            .collect()
+    });
+    rates.into_iter().map(|r| (r.bench, r.ipc)).collect()
 }
 
 /// The instruction stream of a live job.
@@ -360,13 +378,14 @@ impl SchedulerState {
 /// Runs the open system with the given scheduler.
 ///
 /// # Panics
-/// Panics if `cfg.smt == 0`, `cfg.timeslice == 0`, or `cfg.num_jobs == 0`.
+/// Panics if `cfg.smt == 0`, `cfg.timeslice == 0`, `cfg.num_jobs == 0`, or
+/// `cfg.calibration_cycles == 0`.
 pub fn run_open_system(kind: SchedulerKind, cfg: &OpenSystemConfig) -> OpenSystemResult {
     assert!(
-        cfg.smt > 0 && cfg.timeslice > 0 && cfg.num_jobs > 0,
+        cfg.smt > 0 && cfg.timeslice > 0 && cfg.num_jobs > 0 && cfg.calibration_cycles > 0,
         "bad configuration"
     );
-    let solo = calibrate_benchmarks(cfg.smt, 30_000, cfg.seed);
+    let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
     let trace = arrival_trace(cfg, &solo);
     run_open_system_on_trace(kind, cfg, &trace)
 }
@@ -801,6 +820,7 @@ mod tests {
             mean_job_cycles: 60_000,
             mean_interarrival: 30_000,
             timeslice: 2_000,
+            calibration_cycles: 10_000,
             num_jobs: 8,
             sample_schedules: 3,
             predictor: PredictorKind::Score,

@@ -1,0 +1,111 @@
+//! Order-preserving parallel map over OS threads.
+//!
+//! [`SosScheduler`](crate::sos::SosScheduler) evaluates independent candidate
+//! schedules concurrently, and the experiment binaries fan out whole
+//! experiments the same way. Both need one property above all: **results are
+//! merged in input order regardless of the worker count**, so a parallel run
+//! produces byte-identical reports to a serial one (the replay tests pin
+//! `workers = 1` against `workers = N`).
+//!
+//! These helpers used to live in `sos_bench`; they moved here so the
+//! scheduler can use them, and `sos_bench` re-exports them under the old
+//! paths.
+
+/// Runs `f` over `items` on a pool of OS threads (experiments and candidate
+/// evaluations are independent and single-threaded, so this scales to the 13
+/// paper configurations on a multicore host). The fan-out is capped at
+/// [`std::thread::available_parallelism`], so oversubscription does not
+/// distort per-experiment timing on small hosts. Results keep input order.
+pub fn parallel_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    parallel_map_with_workers(items, workers, f)
+}
+
+/// [`parallel_map`] with an explicit worker count. Results keep input order
+/// regardless of `workers`, so a run is reproducible across pool sizes — the
+/// replay tests pin this by comparing `workers = 1` against `workers = N`.
+pub fn parallel_map_with_workers<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = workers.min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![3u64, 1, 4, 1, 5], |x| x * 2);
+        assert_eq!(out, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let out: Vec<u64> = parallel_map(Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..40).collect();
+        let serial = parallel_map_with_workers(items.clone(), 1, |x| x + 7);
+        let pooled = parallel_map_with_workers(items, 8, |x| x + 7);
+        assert_eq!(serial, pooled);
+    }
+
+    #[test]
+    fn parallel_map_handles_more_items_than_cores() {
+        // Far more items than any host's parallelism: exercises the work
+        // queue (each worker handles many items) and order preservation.
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(items.clone(), |x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+}

@@ -10,14 +10,15 @@
 use crate::job::JobPool;
 use crate::schedule::{Coschedule, Schedule};
 use crate::ws::{weighted_speedup, SoloRates};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use smtsim::{MachineConfig, Processor, TimesliceStats};
 
 /// Everything measured while running one full rotation of a schedule.
 ///
 /// Serializable and comparable so the replay harness can prove two runs
-/// byte-identical.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+/// byte-identical, and deserializable so the evaluation cache can reload
+/// stored rotations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RotationStats {
     /// Per-slice hardware-counter snapshots, in execution order.
     pub slices: Vec<TimesliceStats>,
@@ -25,23 +26,75 @@ pub struct RotationStats {
     pub tuples: Vec<Coschedule>,
 }
 
+/// A rotation's coschedules name a thread id outside the pool the caller
+/// described: [`RotationStats::try_committed_per_thread`] was asked to fold
+/// per-thread counts into `num_threads` slots but a tuple references a
+/// thread at or beyond that bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadOutOfRange {
+    /// The offending thread id.
+    pub thread: usize,
+    /// The pool size the caller claimed.
+    pub num_threads: usize,
+    /// The coschedule that referenced it.
+    pub tuple: Coschedule,
+}
+
+impl std::fmt::Display for ThreadOutOfRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "coschedule {} references thread {} but the rotation was asked to \
+             account for only {} pool threads (0..{}); the schedule and the \
+             job pool disagree",
+            self.tuple, self.thread, self.num_threads, self.num_threads
+        )
+    }
+}
+
+impl std::error::Error for ThreadOutOfRange {}
+
 impl RotationStats {
     /// Total cycles across the rotation.
     pub fn cycles(&self) -> u64 {
         self.slices.iter().map(|s| s.cycles).sum()
     }
 
-    /// Committed instructions per pool thread over the rotation.
-    pub fn committed_per_thread(&self, num_threads: usize) -> Vec<u64> {
+    /// Committed instructions per pool thread over the rotation, or a
+    /// diagnostic error if any slice's coschedule names a thread id at or
+    /// beyond `num_threads` (a schedule built against a different pool).
+    pub fn try_committed_per_thread(
+        &self,
+        num_threads: usize,
+    ) -> Result<Vec<u64>, ThreadOutOfRange> {
         let mut out = vec![0u64; num_threads];
         for (slice, tuple) in self.slices.iter().zip(&self.tuples) {
             for &t in tuple.threads() {
+                if t >= num_threads {
+                    return Err(ThreadOutOfRange {
+                        thread: t,
+                        num_threads,
+                        tuple: tuple.clone(),
+                    });
+                }
                 if let Some(ts) = slice.thread(smtsim::StreamId(t as u32)) {
                     out[t] += ts.committed;
                 }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Committed instructions per pool thread over the rotation.
+    ///
+    /// # Panics
+    /// Panics with a [`ThreadOutOfRange`] diagnostic (naming the offending
+    /// tuple and thread id, not a bare index-out-of-bounds) if a coschedule
+    /// references a thread at or beyond `num_threads`; use
+    /// [`Self::try_committed_per_thread`] to handle that case gracefully.
+    pub fn committed_per_thread(&self, num_threads: usize) -> Vec<u64> {
+        self.try_committed_per_thread(num_threads)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// `WS(t)` of the rotation given solo rates.
@@ -239,6 +292,29 @@ mod tests {
                 "WS should be near [0.8, 2.0] for 2 contexts / 4 jobs: {ws}"
             );
         }
+    }
+
+    #[test]
+    fn out_of_range_thread_id_is_a_diagnostic_not_an_index_panic() {
+        // Regression: a coschedule naming thread 5 against a 2-thread pool
+        // used to panic with an unhelpful `index out of bounds`; it must now
+        // surface a diagnostic naming the tuple and both bounds.
+        let mut r = runner();
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        let rot = r.run_rotation(&s);
+        let err = rot.try_committed_per_thread(2).unwrap_err();
+        assert!(err.thread >= 2, "{err:?}");
+        assert_eq!(err.num_threads, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("thread"), "{msg}");
+        assert!(msg.contains("2 pool threads"), "{msg}");
+        // The panicking wrapper carries the same diagnostic.
+        let panic = std::panic::catch_unwind(|| rot.committed_per_thread(2))
+            .expect_err("must panic on out-of-range thread id");
+        let text = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(text.contains("pool threads"), "panic message: {text}");
+        // In-range accounting still works on the same rotation.
+        assert_eq!(rot.try_committed_per_thread(4).unwrap().len(), 4);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! how they actually perform (validating the predictions, as in Figures 2
 //! and 3).
 
+use crate::cache::{self, SymbiosEval};
 use crate::enumerate::sample_distinct;
 use crate::experiment::{ExperimentSpec, SAMPLE_SCHEDULES};
 use crate::job::JobPool;
 use crate::predictor::PredictorKind;
-use crate::runner::Runner;
+use crate::runner::{RotationStats, Runner};
 use crate::sample::{sample_schedules, ScheduleSample};
 use crate::schedule::Schedule;
 use crate::telemetry::{self, Attr};
@@ -178,35 +179,155 @@ impl SosScheduler {
         crate::ws::weighted_speedup(&committed, total_cycles, solo)
     }
 
-    /// The paper's full evaluation protocol for one experiment: calibrate
-    /// solo IPCs, sample candidates, record every predictor's pick, then run
-    /// each candidate through a symbios phase and measure its true WS.
-    pub fn evaluate_experiment(spec: &ExperimentSpec, cfg: &SosConfig) -> ExperimentReport {
-        let _experiment_span = telemetry::span(
-            "scheduler",
-            "sos.experiment",
-            vec![Attr::text("spec", spec.to_string())],
-        );
+    /// A fresh runner for one pure evaluation stage: new pool, new
+    /// processor, telemetry attached when enabled. Every stage of
+    /// [`Self::evaluate_experiment`] starts from this state, which is what
+    /// makes each stage a pure function of `(spec, cfg, schedule)` — the
+    /// property the evaluation cache and the parallel candidate evaluation
+    /// both rely on.
+    fn fresh_runner(spec: &ExperimentSpec, cfg: &SosConfig) -> Runner {
         let pool = JobPool::from_specs(&spec.jobmix(), cfg.seed);
         let timeslice = spec.timeslice(cfg.cycle_scale);
         let mut runner = Runner::new(MachineConfig::alpha21264_like(spec.smt), pool, timeslice);
         if telemetry::is_enabled() {
             runner.attach_telemetry();
         }
+        runner
+    }
 
+    /// Stable machine-config hash for this experiment's processor (the
+    /// machine component of every cache key).
+    fn machine_hash(spec: &ExperimentSpec) -> u64 {
+        MachineConfig::alpha21264_like(spec.smt).stable_hash()
+    }
+
+    /// Calibrates the solo (single-threaded) IPC of every pool thread, as a
+    /// pure function of `(spec, cfg)`, memoized through
+    /// [`cache::solo_rates`] when the cache is enabled.
+    pub fn calibrate(spec: &ExperimentSpec, cfg: &SosConfig) -> SoloRates {
+        let key = cache::solo_key(
+            Self::machine_hash(spec),
+            &spec.label(),
+            cfg.seed,
+            cfg.calibration_cycles,
+            cfg.calibration_cycles,
+        );
+        cache::solo_rates(&key, || {
+            Self::fresh_runner(spec, cfg)
+                .calibrate_solo(cfg.calibration_cycles, cfg.calibration_cycles)
+        })
+    }
+
+    /// Profiles one candidate on a fresh runner: one unrecorded warm-up
+    /// rotation (so the schedule does not pay the whole memory-system cold
+    /// start; the paper starts its benchmarks partially executed for the
+    /// same reason), then `rotations_per_sample` recorded rotations.
+    /// Memoized through [`cache::sample_rotations`].
+    pub fn sample_candidate(
+        spec: &ExperimentSpec,
+        cfg: &SosConfig,
+        schedule: &Schedule,
+    ) -> Vec<RotationStats> {
+        let rotations = cfg.rotations_per_sample.max(1);
+        let key = cache::sample_key(
+            Self::machine_hash(spec),
+            &spec.label(),
+            cfg.seed,
+            &cache::schedule_key(schedule),
+            spec.timeslice(cfg.cycle_scale),
+            rotations,
+        );
+        cache::sample_rotations(&key, || {
+            let mut runner = Self::fresh_runner(spec, cfg);
+            let _ = runner.run_schedule(schedule, 1);
+            runner.run_schedule(schedule, rotations)
+        })
+    }
+
+    /// Runs one candidate's symbios phase of at least `cycles` cycles on a
+    /// fresh runner (after one unrecorded warm-up rotation), returning the
+    /// phase totals. Memoized through [`cache::symbios`].
+    pub fn symbios_candidate(
+        spec: &ExperimentSpec,
+        cfg: &SosConfig,
+        schedule: &Schedule,
+        cycles: u64,
+    ) -> SymbiosEval {
+        let key = cache::symbios_key(
+            Self::machine_hash(spec),
+            &spec.label(),
+            cfg.seed,
+            &cache::schedule_key(schedule),
+            spec.timeslice(cfg.cycle_scale),
+            cycles,
+        );
+        cache::symbios(&key, || {
+            let mut runner = Self::fresh_runner(spec, cfg);
+            let _ = runner.run_schedule(schedule, 1);
+            let threads = runner.pool().len();
+            let rotation_cycles = schedule.slices_per_rotation() as u64 * runner.timeslice();
+            let rotations = (cycles / rotation_cycles).max(1) as usize;
+            let rots = runner.run_schedule(schedule, rotations);
+            let total_cycles: u64 = rots.iter().map(RotationStats::cycles).sum();
+            let mut committed = vec![0u64; threads];
+            for rot in &rots {
+                for (t, c) in rot.committed_per_thread(threads).iter().enumerate() {
+                    committed[t] += c;
+                }
+            }
+            SymbiosEval {
+                committed,
+                cycles: total_cycles,
+            }
+        })
+    }
+
+    /// The paper's full evaluation protocol for one experiment: calibrate
+    /// solo IPCs, sample candidates, record every predictor's pick, then run
+    /// each candidate through a symbios phase and measure its true WS.
+    ///
+    /// Candidates are evaluated concurrently ([`Self::
+    /// evaluate_experiment_with_workers`] with an automatic worker count);
+    /// every candidate stage runs on its own fresh runner and results are
+    /// merged in input order, so the report is byte-identical across worker
+    /// counts.
+    pub fn evaluate_experiment(spec: &ExperimentSpec, cfg: &SosConfig) -> ExperimentReport {
+        Self::evaluate_experiment_with_workers(spec, cfg, 0)
+    }
+
+    /// [`Self::evaluate_experiment`] with an explicit worker count for the
+    /// candidate fan-out (`0` = [`std::thread::available_parallelism`]).
+    /// When telemetry is enabled the count is forced to 1: the event stream
+    /// is ordered by a global simulated clock, and byte-stable traces
+    /// require serial evaluation.
+    pub fn evaluate_experiment_with_workers(
+        spec: &ExperimentSpec,
+        cfg: &SosConfig,
+        workers: usize,
+    ) -> ExperimentReport {
+        let _experiment_span = telemetry::span(
+            "scheduler",
+            "sos.experiment",
+            vec![Attr::text("spec", spec.to_string())],
+        );
+        let stats_before = cache::stats();
         let solo = {
             let _span = telemetry::span("scheduler", "sos.calibrate", vec![]);
-            runner.calibrate_solo(cfg.calibration_cycles, cfg.calibration_cycles)
+            Self::calibrate(spec, cfg)
         };
         let candidates = Self::candidates(spec, cfg);
         telemetry::counter_add("sos.experiments", 1);
         telemetry::counter_add("sos.candidates_sampled", candidates.len() as u64);
-        // One unrecorded warm-up rotation so the first sampled schedule does
-        // not pay the whole memory-system cold start (the paper starts its
-        // benchmarks partially executed for the same reason).
-        if let Some(first) = candidates.first() {
-            let _ = runner.run_schedule(first, 1);
-        }
+        let workers = if telemetry::is_enabled() {
+            1
+        } else if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+
         let mut samples = Vec::with_capacity(candidates.len());
         let mut sample_ws = Vec::with_capacity(candidates.len());
         {
@@ -215,20 +336,22 @@ impl SosScheduler {
                 "sos.sample_phase",
                 vec![Attr::num("candidates", candidates.len() as f64)],
             );
-            for schedule in &candidates {
-                let notation = schedule.paper_notation();
-                let _candidate_span = telemetry::span(
-                    "scheduler",
-                    "sos.sample_candidate",
-                    vec![Attr::text("schedule", notation.clone())],
-                );
-                let rots = runner.run_schedule(schedule, cfg.rotations_per_sample.max(1));
+            let rotations =
+                crate::par::parallel_map_with_workers(candidates.clone(), workers, |schedule| {
+                    let _candidate_span = telemetry::span(
+                        "scheduler",
+                        "sos.sample_candidate",
+                        vec![Attr::text("schedule", schedule.paper_notation())],
+                    );
+                    Self::sample_candidate(spec, cfg, &schedule)
+                });
+            for (schedule, rots) in candidates.iter().zip(&rotations) {
                 samples.push(crate::sample::ScheduleSample::from_rotations(
-                    schedule, &rots,
+                    schedule, rots,
                 ));
-                let cycles: u64 = rots.iter().map(|r| r.cycles()).sum();
+                let cycles: u64 = rots.iter().map(RotationStats::cycles).sum();
                 let mut committed = vec![0u64; solo.len()];
-                for rot in &rots {
+                for rot in rots {
                     for (t, c) in rot.committed_per_thread(solo.len()).iter().enumerate() {
                         committed[t] += c;
                     }
@@ -237,7 +360,10 @@ impl SosScheduler {
                 telemetry::instant(
                     "scheduler",
                     "sos.sample_result",
-                    vec![Attr::text("schedule", notation), Attr::num("ws", ws)],
+                    vec![
+                        Attr::text("schedule", schedule.paper_notation()),
+                        Attr::num("ws", ws),
+                    ],
                 );
                 sample_ws.push(ws);
             }
@@ -264,20 +390,27 @@ impl SosScheduler {
             .collect();
 
         let symbios_cycles = spec.symbios_cycles(cfg.cycle_scale);
-        let symbios_ws: Vec<f64> = candidates
-            .iter()
-            .map(|s| {
-                let notation = s.paper_notation();
+        let symbios_evals =
+            crate::par::parallel_map_with_workers(candidates.clone(), workers, |s| {
                 let _span = telemetry::span(
                     "scheduler",
                     "sos.symbios_phase",
-                    vec![Attr::text("schedule", notation.clone())],
+                    vec![Attr::text("schedule", s.paper_notation())],
                 );
-                let ws = Self::symbios_phase(&mut runner, s, symbios_cycles, &solo);
+                Self::symbios_candidate(spec, cfg, &s, symbios_cycles)
+            });
+        let symbios_ws: Vec<f64> = candidates
+            .iter()
+            .zip(&symbios_evals)
+            .map(|(s, ev)| {
+                let ws = crate::ws::weighted_speedup(&ev.committed, ev.cycles, &solo);
                 telemetry::instant(
                     "scheduler",
                     "sos.symbios_result",
-                    vec![Attr::text("schedule", notation), Attr::num("ws", ws)],
+                    vec![
+                        Attr::text("schedule", s.paper_notation()),
+                        Attr::num("ws", ws),
+                    ],
                 );
                 ws
             })
@@ -285,6 +418,17 @@ impl SosScheduler {
         telemetry::gauge_set("sos.best_ws", {
             symbios_ws.iter().copied().fold(f64::NEG_INFINITY, f64::max)
         });
+        if cache::is_enabled() {
+            let after = cache::stats();
+            telemetry::counter_add(
+                "sos.cache.hits",
+                after.hits.saturating_sub(stats_before.hits),
+            );
+            telemetry::counter_add(
+                "sos.cache.misses",
+                after.misses.saturating_sub(stats_before.misses),
+            );
+        }
 
         ExperimentReport {
             spec: *spec,

@@ -280,6 +280,66 @@ impl MachineConfig {
         Ok(())
     }
 
+    /// A content hash of the configuration that is stable across processes,
+    /// platforms, and reruns (unlike [`std::hash::Hash`] with the std
+    /// `RandomState`, which is seeded per process).
+    ///
+    /// Every field participates, in declaration order, so two configurations
+    /// hash equal exactly when they would build identical processors. The
+    /// evaluation-result cache uses this as the machine component of its
+    /// keys; adding a field to `MachineConfig` changes the hash of every
+    /// configuration, which conservatively invalidates old cache entries.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.u64(self.contexts as u64);
+        h.u64(self.fetch_width as u64);
+        h.u64(self.fetch_threads as u64);
+        h.u64(match self.fetch_policy {
+            FetchPolicy::Icount => 0,
+            FetchPolicy::RoundRobin => 1,
+            FetchPolicy::Brcount => 2,
+            FetchPolicy::Misscount => 3,
+        });
+        h.u64(self.dispatch_width as u64);
+        h.u64(self.issue_width as u64);
+        h.u64(self.frontend_delay);
+        h.u64(self.int_queue as u64);
+        h.u64(self.fp_queue as u64);
+        h.u64(self.int_regs as u64);
+        h.u64(self.fp_regs as u64);
+        h.u64(self.int_units as u64);
+        h.u64(self.fp_units as u64);
+        h.u64(self.ls_ports as u64);
+        h.u64(self.max_inflight_per_thread as u64);
+        for lat in [
+            self.lat.int_alu,
+            self.lat.int_mul,
+            self.lat.fp_add,
+            self.lat.fp_mul,
+            self.lat.fp_div,
+            self.lat.fp_div_occupancy,
+            self.lat.store,
+            self.lat.branch,
+        ] {
+            h.u64(lat);
+        }
+        for c in [&self.icache, &self.dcache, &self.l2] {
+            h.u64(c.size_bytes);
+            h.u64(c.line_bytes);
+            h.u64(c.assoc as u64);
+            h.u64(c.hit_latency);
+        }
+        h.u64(self.mem_latency);
+        h.u64(self.itlb_entries as u64);
+        h.u64(self.dtlb_entries as u64);
+        h.u64(self.page_bytes);
+        h.u64(self.tlb_miss_penalty);
+        h.u64(self.branch.table_bits as u64);
+        h.u64(self.branch.history_bits as u64);
+        h.u64(self.branch.mispredict_penalty);
+        h.finish()
+    }
+
     /// The largest completion latency any single instruction can incur. Used
     /// to size the completion wheel.
     pub(crate) fn max_latency(&self) -> u64 {
@@ -307,6 +367,27 @@ impl Default for MachineConfig {
     /// The paper's baseline machine at SMT level 2.
     fn default() -> Self {
         MachineConfig::alpha21264_like(2)
+    }
+}
+
+/// Order-sensitive 64-bit FNV-1a accumulator backing
+/// [`MachineConfig::stable_hash`]: no per-process seed, no platform
+/// dependence (values are folded in as little-endian bytes).
+struct StableHasher(u64);
+
+impl StableHasher {
+    fn new() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -365,5 +446,32 @@ mod tests {
     fn max_latency_covers_memory_path() {
         let cfg = MachineConfig::default();
         assert!(cfg.max_latency() >= cfg.mem_latency);
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_field_sensitive() {
+        let base = MachineConfig::alpha21264_like(3);
+        assert_eq!(base.stable_hash(), base.stable_hash());
+        assert_eq!(
+            base.stable_hash(),
+            MachineConfig::alpha21264_like(3).stable_hash()
+        );
+        // Every kind of field moves the hash: a structural size, a nested
+        // latency, a cache geometry, the fetch policy discriminant.
+        let mut distinct = vec![base.stable_hash()];
+        let mut m = base.clone();
+        m.contexts = 4;
+        distinct.push(m.stable_hash());
+        let mut m = base.clone();
+        m.lat.fp_div = 13;
+        distinct.push(m.stable_hash());
+        let mut m = base.clone();
+        m.dcache.assoc = 4;
+        distinct.push(m.stable_hash());
+        let mut m = base.clone();
+        m.fetch_policy = FetchPolicy::RoundRobin;
+        distinct.push(m.stable_hash());
+        let unique: std::collections::HashSet<u64> = distinct.iter().copied().collect();
+        assert_eq!(unique.len(), distinct.len(), "{distinct:?}");
     }
 }
