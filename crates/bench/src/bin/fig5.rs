@@ -13,6 +13,7 @@ use sos_core::opensys::{
     arrival_trace, calibrate_benchmarks, measure_capacity, run_open_system_on_trace,
     OpenSystemConfig, SchedulerKind,
 };
+use sos_core::report::percentiles;
 
 fn main() {
     // Open-system runs are long; default to a smaller scale than the
@@ -45,6 +46,8 @@ fn main() {
         let mut naive_total = 0.0;
         let mut sos_total = 0.0;
         let mut pop = 0.0;
+        let mut naive_rt = Vec::new();
+        let mut sos_rt = Vec::new();
         for seed in 0..seeds {
             let mut cfg = OpenSystemConfig::scaled(smt);
             cfg.mean_job_cycles = 2_000_000_000 / scale.max(1);
@@ -72,16 +75,20 @@ fn main() {
             naive_total += naive.mean_response();
             sos_total += sos.mean_response();
             pop += naive.mean_population;
+            naive_rt.extend(naive.response_times());
+            sos_rt.extend(sos.response_times());
         }
         (
             smt,
             naive_total / seeds as f64,
             sos_total / seeds as f64,
             pop / seeds as f64,
+            percentiles(&naive_rt),
+            percentiles(&sos_rt),
         )
     });
 
-    for (smt, naive, sos, pop) in rows {
+    for (smt, naive, sos, pop, _, _) in &rows {
         let improvement = 100.0 * (naive - sos) / naive;
         println!(
             "{:<10} {:>16.0} {:>16.0} {:>8.1} {:>12.1}%",
@@ -90,4 +97,16 @@ fn main() {
     }
     println!();
     println!("(paper: improvements between 8% and nearly 18% across SMT levels)");
+    println!();
+    println!("response-time percentiles (cycles, jobs pooled across seeds)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "SMT level", "naive p50", "naive p95", "naive p99", "SOS p50", "SOS p95", "SOS p99"
+    );
+    for (smt, _, _, _, np, sp) in &rows {
+        println!(
+            "{:<10} {:>12.0} {:>12.0} {:>12.0}   {:>12.0} {:>12.0} {:>12.0}",
+            smt, np.p50, np.p95, np.p99, sp.p50, sp.p95, sp.p99
+        );
+    }
 }

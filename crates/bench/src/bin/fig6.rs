@@ -12,6 +12,7 @@ use sos_core::opensys::{
     arrival_trace, calibrate_benchmarks, measure_capacity, run_open_system_on_trace,
     OpenSystemConfig, SchedulerKind,
 };
+use sos_core::report::percentiles;
 
 fn main() {
     let scale: u64 = std::env::args()
@@ -43,6 +44,8 @@ fn main() {
         let mut naive_total = 0.0;
         let mut sos_total = 0.0;
         let mut lambda_avg = 0u64;
+        let mut naive_rt = Vec::new();
+        let mut sos_rt = Vec::new();
         for seed in 0..seeds {
             let mut cfg = OpenSystemConfig::scaled(smt);
             cfg.mean_job_cycles = mean_job_cycles;
@@ -62,16 +65,20 @@ fn main() {
             let sos = run_open_system_on_trace(SchedulerKind::Sos, &cfg, &trace);
             naive_total += naive.mean_response();
             sos_total += sos.mean_response();
+            naive_rt.extend(naive.response_times());
+            sos_rt.extend(sos.response_times());
         }
         (
             rho,
             lambda_avg,
             naive_total / seeds as f64,
             sos_total / seeds as f64,
+            percentiles(&naive_rt),
+            percentiles(&sos_rt),
         )
     });
 
-    for (rho, lambda, naive, sos) in rows {
+    for (rho, lambda, naive, sos, _, _) in &rows {
         let improvement = 100.0 * (naive - sos) / naive;
         println!(
             "{:<8.2} {:<14} {:>16.0} {:>16.0} {:>12.1}%",
@@ -80,4 +87,16 @@ fn main() {
     }
     println!();
     println!("(paper: positive improvements across λ values, varying with the load)");
+    println!();
+    println!("response-time percentiles (cycles, jobs pooled across seeds)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "load ρ", "naive p50", "naive p95", "naive p99", "SOS p50", "SOS p95", "SOS p99"
+    );
+    for (rho, _, _, _, np, sp) in &rows {
+        println!(
+            "{:<8.2} {:>12.0} {:>12.0} {:>12.0}   {:>12.0} {:>12.0} {:>12.0}",
+            rho, np.p50, np.p95, np.p99, sp.p50, sp.p95, sp.p99
+        );
+    }
 }

@@ -1,0 +1,216 @@
+//! `sos-loadgen` — deterministic open-loop load generator for `sos-serve`.
+//!
+//! Replays a seeded exponential arrival trace (the same `ArrivalTrace`
+//! generator the batch §9 experiments use, so a given seed always produces
+//! the same job sequence) against a running daemon, then drains it and
+//! prints the completed-job count and response-time percentiles.
+//!
+//! Open-loop means arrivals are paced by the trace, not by completions: the
+//! generator never waits for a job to finish before submitting the next, so
+//! an overloaded daemon answers `backpressure` (counted and reported) rather
+//! than silently slowing the offered load.
+//!
+//! Usage: `sos-loadgen [--addr HOST:PORT] [--jobs N]
+//! [--mean-interarrival CYCLES] [--mean-length CYCLES]
+//! [--phased-fraction F] [--seed S] [--pace CYCLES_PER_MS] [--no-shutdown]`
+//!
+//! Job lengths are submitted in solo *cycles*; the daemon converts them to
+//! instructions with its own calibrated solo IPC. `--pace` maps trace
+//! interarrival gaps to wall-clock sleeps (0 = submit as fast as possible).
+//! A `backpressure` reply is retried every `--retry-ms` milliseconds (the
+//! daemon keeps draining the queue meanwhile); `--retry-ms 0` disables the
+//! retry so overload shows up as a rejected count instead. By default the
+//! daemon is told to `shutdown` after the drain; pass `--no-shutdown` to
+//! leave it running for another client.
+
+use sos_bench::serve::{Client, Request};
+use sos_core::opensys::{ArrivalTrace, ArrivalTraceSpec};
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    jobs: usize,
+    mean_interarrival: u64,
+    mean_length: u64,
+    phased_fraction: f64,
+    seed: u64,
+    pace: u64,
+    retry_ms: u64,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7077".to_string(),
+            jobs: 200,
+            mean_interarrival: 400_000,
+            mean_length: 1_200_000,
+            phased_fraction: 0.25,
+            seed: 42,
+            pace: 0,
+            retry_ms: 2,
+            shutdown: true,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--jobs" => args.jobs = num(&value("--jobs")?, "--jobs")?,
+            "--mean-interarrival" => {
+                args.mean_interarrival = num(&value("--mean-interarrival")?, "--mean-interarrival")?
+            }
+            "--mean-length" => args.mean_length = num(&value("--mean-length")?, "--mean-length")?,
+            "--phased-fraction" => {
+                args.phased_fraction = num(&value("--phased-fraction")?, "--phased-fraction")?
+            }
+            "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--pace" => args.pace = num(&value("--pace")?, "--pace")?,
+            "--retry-ms" => args.retry_ms = num(&value("--retry-ms")?, "--retry-ms")?,
+            "--no-shutdown" => args.shutdown = false,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.jobs == 0 {
+        return Err("--jobs must be positive".into());
+    }
+    if args.mean_interarrival == 0 || args.mean_length == 0 {
+        return Err("--mean-interarrival and --mean-length must be positive".into());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sos-loadgen: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Job lengths stay in solo cycles (unit IPC): the daemon owns the
+    // cycles→instructions conversion via its calibrated solo IPC table.
+    let trace = ArrivalTrace::generate_in_cycles(&ArrivalTraceSpec {
+        mean_interarrival: args.mean_interarrival,
+        mean_job_cycles: args.mean_length,
+        num_jobs: args.jobs,
+        phased_fraction: args.phased_fraction,
+        seed: args.seed,
+    });
+
+    let mut client = match Client::connect(&args.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("sos-loadgen: cannot connect to {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut retries = 0usize;
+    let mut prev_arrival = 0u64;
+    for job in &trace.jobs {
+        let gap_cycles = job.arrival.saturating_sub(prev_arrival);
+        if let Some(gap_ms) = gap_cycles.checked_div(args.pace) {
+            std::thread::sleep(Duration::from_millis(gap_ms));
+        }
+        prev_arrival = job.arrival;
+        let req = Request::submit_cycles(job.benchmark.name(), job.instructions, job.phased);
+        loop {
+            match client.request(&req) {
+                Ok(resp) if resp.ok => {
+                    accepted += 1;
+                    break;
+                }
+                Ok(resp) if resp.error.as_deref() == Some("backpressure") && args.retry_ms > 0 => {
+                    // The daemon keeps simulating while we back off, so a
+                    // slot opens as soon as a live job departs.
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(args.retry_ms));
+                }
+                Ok(resp) => {
+                    rejected += 1;
+                    if resp.error.as_deref() != Some("backpressure") {
+                        eprintln!(
+                            "sos-loadgen: submit rejected: {}",
+                            resp.error.as_deref().unwrap_or("unknown error")
+                        );
+                    }
+                    break;
+                }
+                Err(e) => {
+                    eprintln!("sos-loadgen: submit failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!(
+        "# offered {} jobs (seed {}): {} accepted, {} rejected, {} backpressure retries",
+        trace.jobs.len(),
+        args.seed,
+        accepted,
+        rejected,
+        retries
+    );
+
+    // Drain: blocks until every in-flight job has departed.
+    if let Err(e) = client.request(&Request::verb("drain")) {
+        eprintln!("sos-loadgen: drain failed: {e}");
+        std::process::exit(1);
+    }
+
+    let stats = match client.request(&Request::verb("stats")) {
+        Ok(resp) => match resp.stats {
+            Some(s) => s,
+            None => {
+                eprintln!("sos-loadgen: stats reply carried no stats payload");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("sos-loadgen: stats failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("completed {}", stats.completed);
+    println!(
+        "response cycles   mean {:.0}  p50 {:.0}  p95 {:.0}  p99 {:.0}",
+        stats.mean_response, stats.response.p50, stats.response.p95, stats.response.p99
+    );
+    println!(
+        "slowdown          mean {:.3}  p50 {:.3}  p95 {:.3}  p99 {:.3}",
+        stats.mean_slowdown, stats.slowdown.p50, stats.slowdown.p95, stats.slowdown.p99
+    );
+    println!(
+        "response approx   p50 {:.0}  p95 {:.0}  p99 {:.0}  (histogram buckets)",
+        stats.response_approx.p50, stats.response_approx.p95, stats.response_approx.p99
+    );
+    println!(
+        "resamples {}  cache {} hits / {} misses",
+        stats.resamples, stats.cache_hits, stats.cache_misses
+    );
+
+    if args.shutdown {
+        match client.request(&Request::verb("shutdown")) {
+            Ok(resp) if resp.ok => {}
+            Ok(resp) => eprintln!(
+                "sos-loadgen: shutdown refused: {}",
+                resp.error.as_deref().unwrap_or("unknown error")
+            ),
+            Err(e) => eprintln!("sos-loadgen: shutdown failed: {e}"),
+        }
+    }
+}

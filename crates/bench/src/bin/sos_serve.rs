@@ -1,0 +1,561 @@
+//! `sos-serve` — a long-running online job-scheduling daemon.
+//!
+//! Accepts job submissions over a local TCP socket (JSON lines; see
+//! `sos_bench::serve` for the protocol) and schedules them on a simulated
+//! SMT machine through `sos_core::online::OnlineEngine`, under either the
+//! naive arrival-order policy or SOS with live resampling. The daemon is
+//! the serving-layer counterpart of the batch §9 reproduction (`fig5`,
+//! `fig6`): same engine, driven by wire events instead of a pre-generated
+//! trace.
+//!
+//! Service behaviour:
+//! * **Admission control** — at most `--queue-cap` jobs in the system;
+//!   excess submissions get an explicit `backpressure` error reply.
+//! * **Graceful drain** — `drain`/`shutdown` stop admission and complete
+//!   every in-flight job before replying / exiting 0.
+//! * **Snapshot/restore** — scheduler accounting is written atomically to
+//!   `<snapshot-dir>/snapshot.json` every `--snapshot-every` completions
+//!   and on shutdown; on restart, completed-job accounting is restored
+//!   exactly and in-flight jobs are re-queued from their arrival records.
+//! * **Latency SLOs** — per-job response time and slowdown feed a
+//!   `sos_core::telemetry::MetricRegistry`; the `stats` verb reports exact
+//!   and histogram-approximated p50/p95/p99.
+//!
+//! Usage: `sos-serve [--port P] [--policy sos|naive] [--smt N]
+//! [--queue-cap N] [--timeslice C] [--snapshot-dir DIR]
+//! [--snapshot-every N] [--seed S] [--metrics FILE]`
+//!
+//! The daemon prints `sos-serve listening on ADDR` once ready (with
+//! `--port 0` the OS picks the port; parse it from this line).
+
+use sos_bench::serve::{CompletedJob, Request, Response, Snapshot, StatsReply, StatusReply};
+use sos_core::online::{OnlineConfig, OnlineEngine, SchedulerKind};
+use sos_core::opensys::{calibrate_benchmarks, JobArrival, JOB_KINDS};
+use sos_core::report::{percentiles, Percentiles};
+use sos_core::telemetry::{self, MetricKind, MetricRegistry};
+use sos_core::PredictorKind;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+use workloads::spec::Benchmark;
+
+struct Args {
+    port: u16,
+    policy: SchedulerKind,
+    smt: usize,
+    timeslice: u64,
+    queue_cap: usize,
+    sample_schedules: usize,
+    base_interval: u64,
+    calibration_cycles: u64,
+    seed: u64,
+    snapshot_dir: PathBuf,
+    snapshot_every: u64,
+    metrics: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            port: 7077,
+            policy: SchedulerKind::Sos,
+            smt: 4,
+            timeslice: 5_000,
+            queue_cap: 64,
+            sample_schedules: 6,
+            base_interval: 500_000,
+            calibration_cycles: 60_000,
+            seed: 0x5E54E,
+            snapshot_dir: PathBuf::from("results/serve"),
+            snapshot_every: 16,
+            metrics: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--port" => args.port = num(&value("--port")?, "--port")?,
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policy = SchedulerKind::parse(&v)
+                    .ok_or_else(|| format!("unknown policy {v:?} (naive|sos)"))?;
+            }
+            "--smt" => args.smt = num(&value("--smt")?, "--smt")?,
+            "--timeslice" => args.timeslice = num(&value("--timeslice")?, "--timeslice")?,
+            "--queue-cap" => args.queue_cap = num(&value("--queue-cap")?, "--queue-cap")?,
+            "--sample-schedules" => {
+                args.sample_schedules = num(&value("--sample-schedules")?, "--sample-schedules")?
+            }
+            "--base-interval" => {
+                args.base_interval = num(&value("--base-interval")?, "--base-interval")?
+            }
+            "--calibration-cycles" => {
+                args.calibration_cycles =
+                    num(&value("--calibration-cycles")?, "--calibration-cycles")?
+            }
+            "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--snapshot-dir" => args.snapshot_dir = PathBuf::from(value("--snapshot-dir")?),
+            "--snapshot-every" => {
+                args.snapshot_every = num(&value("--snapshot-every")?, "--snapshot-every")?
+            }
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.smt == 0 || args.timeslice == 0 || args.queue_cap == 0 {
+        return Err("--smt, --timeslice, and --queue-cap must be positive".into());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+/// One request routed from a connection thread to the scheduler thread.
+struct Msg {
+    req: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The scheduler thread's full state.
+struct Daemon {
+    engine: OnlineEngine,
+    solo: HashMap<Benchmark, f64>,
+    registry: MetricRegistry,
+    queue_cap: usize,
+    draining: bool,
+    shutdown: bool,
+    drain_waiters: Vec<mpsc::Sender<Response>>,
+    completed: Vec<CompletedJob>,
+    restored: u64,
+    rejected: u64,
+    /// Jobs accounted in the restored snapshot but not resubmitted to this
+    /// process's engine (so `submitted_base + engine.submitted()` is the
+    /// lifetime total across restarts).
+    submitted_base: u64,
+    snapshot_dir: PathBuf,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    metrics: Option<PathBuf>,
+}
+
+impl Daemon {
+    fn policy(&self) -> &'static str {
+        self.engine.kind().name()
+    }
+
+    fn solo_ipc(&self, bench: Benchmark) -> f64 {
+        self.solo.get(&bench).copied().unwrap_or(1.0).max(1e-6)
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        let reply = match msg.req.cmd.as_str() {
+            "submit" => self.handle_submit(&msg.req),
+            "status" => self.handle_status(),
+            "stats" => self.handle_stats(),
+            "drain" | "shutdown" => {
+                self.draining = true;
+                if msg.req.cmd == "shutdown" {
+                    self.shutdown = true;
+                }
+                if self.engine.live_count() == 0 {
+                    Response::ok()
+                } else {
+                    // Deferred: answered when the last in-flight job departs.
+                    self.drain_waiters.push(msg.reply);
+                    return;
+                }
+            }
+            other => Response::err(format!(
+                "unknown cmd {other:?} (submit|status|stats|drain|shutdown)"
+            )),
+        };
+        let _ = msg.reply.send(reply);
+    }
+
+    fn handle_submit(&mut self, req: &Request) -> Response {
+        if self.draining {
+            return Response::err("draining");
+        }
+        if self.engine.live_count() >= self.queue_cap {
+            self.rejected += 1;
+            self.registry.counter_add("serve.rejected", 1);
+            return Response::err("backpressure");
+        }
+        let Some(name) = req.bench.as_deref() else {
+            return Response::err("submit requires a bench field");
+        };
+        let Some(benchmark) = JOB_KINDS
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+        else {
+            let known: Vec<&str> = JOB_KINDS.iter().map(|b| b.name()).collect();
+            return Response::err(format!("unknown bench {name:?} (one of {known:?})"));
+        };
+        let instructions = match (req.instructions, req.cycles) {
+            (Some(i), _) => i,
+            (None, Some(c)) => ((c as f64 * self.solo_ipc(benchmark)) as u64).max(1_000),
+            (None, None) => return Response::err("submit requires cycles or instructions"),
+        };
+        if instructions == 0 {
+            return Response::err("job length must be positive");
+        }
+        let arrival = JobArrival {
+            arrival: self.engine.now(),
+            benchmark,
+            instructions,
+            phased: req.phased.unwrap_or(false),
+        };
+        let key = self.engine.submit(arrival);
+        self.registry.counter_add("serve.submitted", 1);
+        self.registry
+            .gauge_set("serve.queue_depth", self.engine.live_count() as f64);
+        let mut r = Response::ok();
+        r.id = Some(self.submitted_base + key as u64);
+        r
+    }
+
+    fn handle_status(&mut self) -> Response {
+        let mut r = Response::ok();
+        r.status = Some(StatusReply {
+            policy: self.policy().to_string(),
+            smt: self.engine.config().smt as u64,
+            live: self.engine.live_count() as u64,
+            queue_cap: self.queue_cap as u64,
+            submitted: self.submitted_base + self.engine.submitted() as u64,
+            completed: self.completed.len() as u64,
+            rejected: self.rejected,
+            now_cycles: self.engine.now(),
+            draining: self.draining,
+            restored: self.restored,
+        });
+        r
+    }
+
+    fn handle_stats(&mut self) -> Response {
+        let responses: Vec<f64> = self.completed.iter().map(|c| c.response as f64).collect();
+        let slowdowns: Vec<f64> = self.completed.iter().map(|c| c.slowdown).collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let response_approx = self
+            .registry
+            .snapshot()
+            .into_iter()
+            .find(|m| m.name == "serve.response_cycles" && m.kind == MetricKind::Histogram)
+            .and_then(|m| m.histogram)
+            .map(|h| h.percentile_summary())
+            .unwrap_or(Percentiles {
+                p50: f64::NAN,
+                p95: f64::NAN,
+                p99: f64::NAN,
+            });
+        let cache = sos_core::cache::stats();
+        let mut r = Response::ok();
+        r.stats = Some(StatsReply {
+            completed: self.completed.len() as u64,
+            mean_response: mean(&responses),
+            response: percentiles(&responses),
+            mean_slowdown: mean(&slowdowns),
+            slowdown: percentiles(&slowdowns),
+            response_approx,
+            resamples: self.engine.resamples(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+        });
+        r
+    }
+
+    /// Books a batch of departures: SLO accounting, registry metrics,
+    /// periodic snapshot, drain notifications.
+    fn after_step(&mut self, departed: Vec<sos_core::online::JobRecord>) {
+        let n = departed.len() as u64;
+        for rec in departed {
+            let response = rec.response();
+            let service = rec.arrival.instructions as f64 / self.solo_ipc(rec.arrival.benchmark);
+            let slowdown = if service > 0.0 {
+                response as f64 / service
+            } else {
+                f64::NAN
+            };
+            self.registry.counter_add("serve.completed", 1);
+            self.registry
+                .histogram_record("serve.response_cycles", response);
+            if slowdown.is_finite() {
+                self.registry
+                    .histogram_record("serve.slowdown_x100", (slowdown * 100.0) as u64);
+            }
+            self.completed.push(CompletedJob {
+                arrival: rec.arrival.arrival,
+                response,
+                slowdown,
+            });
+        }
+        if n == 0 {
+            return;
+        }
+        self.registry
+            .gauge_set("serve.queue_depth", self.engine.live_count() as f64);
+        self.since_snapshot += n;
+        if self.since_snapshot >= self.snapshot_every {
+            self.write_snapshot();
+        }
+        if self.engine.live_count() == 0 && self.draining {
+            for w in self.drain_waiters.drain(..) {
+                let _ = w.send(Response::ok());
+            }
+        }
+    }
+
+    fn write_snapshot(&mut self) {
+        self.since_snapshot = 0;
+        let snap = Snapshot {
+            version: sos_bench::serve::SNAPSHOT_VERSION,
+            policy: self.policy().to_string(),
+            smt: self.engine.config().smt as u64,
+            seed: self.engine.config().seed,
+            now_cycles: self.engine.now(),
+            submitted: self.submitted_base + self.engine.submitted() as u64,
+            rejected: self.rejected,
+            completed: self.completed.clone(),
+            inflight: self.engine.live_arrivals(),
+        };
+        if let Err(e) = snap.store(&self.snapshot_dir) {
+            eprintln!(
+                "sos-serve: snapshot to {} failed: {e} (continuing without persistence)",
+                self.snapshot_dir.display()
+            );
+        }
+    }
+
+    /// Appends drained telemetry (events + a metrics snapshot, including a
+    /// copy of the serve registry) to the `--metrics` file, if configured.
+    fn export_metrics(&mut self) {
+        let Some(path) = self.metrics.clone() else {
+            return;
+        };
+        let snap = telemetry::global().drain();
+        let mut out = telemetry::events_to_jsonl(&snap.events);
+        let mut metrics = snap.metrics;
+        metrics.extend(self.registry.snapshot());
+        out.push_str(&telemetry::metrics_to_jsonl(&metrics));
+        let res = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()));
+        if let Err(e) = res {
+            eprintln!(
+                "sos-serve: metrics export to {} failed: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sos-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    if args.metrics.is_some() {
+        telemetry::enable();
+    }
+    sos_bench::init_cache();
+    eprintln!(
+        "# sos-serve: calibrating {} benchmarks at SMT {} ...",
+        JOB_KINDS.len(),
+        args.smt
+    );
+    let solo = calibrate_benchmarks(args.smt, args.calibration_cycles, args.seed);
+
+    let cfg = OnlineConfig {
+        smt: args.smt,
+        timeslice: args.timeslice,
+        sample_schedules: args.sample_schedules,
+        predictor: PredictorKind::Ipc,
+        drift_threshold: Some(0.35),
+        base_interval: args.base_interval,
+        seed: args.seed,
+    };
+    let mut engine = OnlineEngine::new(args.policy, &cfg);
+
+    // Restore the latest snapshot, if one matches this configuration.
+    let mut daemon_completed = Vec::new();
+    let mut restored = 0u64;
+    let mut rejected = 0u64;
+    let mut submitted_base = 0u64;
+    if let Some(snap) = Snapshot::load(&args.snapshot_dir) {
+        if snap.policy == args.policy.name() && snap.smt == args.smt as u64 {
+            engine.jump_to(snap.now_cycles);
+            restored = snap.completed.len() as u64;
+            rejected = snap.rejected;
+            submitted_base = snap.submitted.saturating_sub(snap.inflight.len() as u64);
+            daemon_completed = snap.completed;
+            let inflight = snap.inflight.len();
+            for job in snap.inflight {
+                engine.submit(job);
+            }
+            eprintln!(
+                "# sos-serve: restored snapshot ({restored} completed, {inflight} in-flight re-queued)"
+            );
+        } else {
+            eprintln!(
+                "# sos-serve: ignoring snapshot for policy={} smt={} (running policy={} smt={})",
+                snap.policy,
+                snap.smt,
+                args.policy.name(),
+                args.smt
+            );
+        }
+    }
+
+    let mut daemon = Daemon {
+        engine,
+        solo,
+        registry: MetricRegistry::new(),
+        queue_cap: args.queue_cap,
+        draining: false,
+        shutdown: false,
+        drain_waiters: Vec::new(),
+        completed: daemon_completed,
+        restored,
+        rejected,
+        submitted_base,
+        snapshot_dir: args.snapshot_dir.clone(),
+        snapshot_every: args.snapshot_every.max(1),
+        since_snapshot: 0,
+        metrics: args.metrics.clone(),
+    };
+
+    let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("sos-serve: cannot bind 127.0.0.1:{}: {e}", args.port);
+            std::process::exit(2);
+        }
+    };
+    let addr = listener.local_addr().expect("bound socket has an address");
+    println!("sos-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let (tx, rx) = mpsc::channel::<Msg>();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || serve_connection(stream, tx));
+                }
+                Err(e) => eprintln!("sos-serve: accept failed: {e}"),
+            }
+        }
+    });
+
+    // The scheduler loop: drain control messages, then either run one
+    // timeslice or block briefly waiting for work.
+    loop {
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => daemon.handle(msg),
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        }
+        if daemon.shutdown && daemon.engine.live_count() == 0 {
+            break;
+        }
+        if daemon.engine.live_count() > 0 {
+            let departed = daemon.engine.step();
+            daemon.after_step(departed);
+        } else {
+            match rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(msg) => daemon.handle(msg),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    daemon.write_snapshot();
+    daemon.export_metrics();
+    sos_bench::print_cache_stats();
+    eprintln!(
+        "# sos-serve: shutdown after {} completed jobs at cycle {}",
+        daemon.completed.len(),
+        daemon.engine.now()
+    );
+    // Give connection threads a beat to flush the shutdown reply before the
+    // process (and its sockets) go away.
+    std::thread::sleep(Duration::from_millis(200));
+    std::process::exit(0);
+}
+
+/// Reads JSON-line requests off one connection, routing well-formed ones to
+/// the scheduler thread and answering malformed ones directly with a
+/// diagnostic error reply.
+fn serve_connection(stream: TcpStream, tx: mpsc::Sender<Msg>) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".into());
+    let reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sos-serve: cannot clone stream for {peer}: {e}");
+            return;
+        }
+    });
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client went away
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Err(e) => Response::err(format!("unparsable request: {e}")),
+            Ok(req) => {
+                let (rtx, rrx) = mpsc::channel();
+                if tx.send(Msg { req, reply: rtx }).is_err() {
+                    break; // scheduler is gone; daemon is exiting
+                }
+                match rrx.recv() {
+                    Ok(r) => r,
+                    Err(_) => break,
+                }
+            }
+        };
+        let json = match serde_json::to_string(&response) {
+            Ok(j) => j,
+            Err(e) => format!("{{\"ok\":false,\"error\":\"reply serialization: {e}\"}}"),
+        };
+        if writer
+            .write_all(json.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

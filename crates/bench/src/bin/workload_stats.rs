@@ -22,7 +22,17 @@ fn main() {
         let mut dep_n = 0u64;
         for _ in 0..N {
             if let Fetch::Instr(i) = s.next_instr() {
-                let idx = InstrClass::ALL.iter().position(|&c| c == i.class).unwrap();
+                let Some(idx) = InstrClass::ALL.iter().position(|&c| c == i.class) else {
+                    // Unreachable while ALL enumerates every class; a new
+                    // class missing from ALL should show up as a loud
+                    // diagnostic, not a panicking stats binary.
+                    eprintln!(
+                        "workload_stats: {:?} emitted class {:?} absent from InstrClass::ALL; skipping",
+                        b.name(),
+                        i.class
+                    );
+                    continue;
+                };
                 counts[idx] += 1;
                 if i.dep_dist > 0 && i.class != InstrClass::Branch {
                     dep_sum += u64::from(i.dep_dist);

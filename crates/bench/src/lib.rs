@@ -7,6 +7,8 @@
 use sos_core::sos::ExperimentReport;
 use sos_core::{PredictorKind, SosConfig};
 
+pub mod serve;
+
 /// Parses the common `[cycle_scale]` argument.
 pub fn scale_from_args() -> u64 {
     std::env::args()

@@ -1,0 +1,357 @@
+//! The `sos-serve` wire protocol, snapshot format, and client helper.
+//!
+//! `sos-serve` speaks JSON lines over a local TCP socket: each request is
+//! one JSON object on one line, answered by exactly one JSON object on one
+//! line. Verbs are carried in the `cmd` field:
+//!
+//! * `submit` — admit a job (`bench`, plus `cycles` of solo work *or*
+//!   explicit `instructions`, and optional `phased`). Replies with the job
+//!   id, or `ok:false` with `error:"backpressure"` when the system is at
+//!   its admission cap, or `error:"draining"` once a drain has started.
+//! * `status` — queue depth, counters, simulated clock.
+//! * `stats` — per-job latency summary: mean/p50/p95/p99 response time and
+//!   slowdown, exact (from completed-job records) and approximate (from the
+//!   `sos_core::telemetry` log2-bucket histograms).
+//! * `drain` — stop admitting; the reply is deferred until every in-flight
+//!   job has completed.
+//! * `shutdown` — drain, snapshot, reply, and exit 0.
+//!
+//! Any unparsable or unknown request gets `ok:false` with a diagnostic
+//! `error`; the connection stays usable. All numbers are simulated cycles —
+//! the daemon runs the machine as fast as the host allows.
+//!
+//! The snapshot (written atomically to `<dir>/snapshot.json`) carries the
+//! daemon's accounting across restarts: completed-job records are restored
+//! exactly; in-flight jobs are re-queued from their arrival records and
+//! rerun from the start (streams are seeded and synthetic, so the work is
+//! reproduced, not lost — only partial progress is).
+
+use serde::{Deserialize, Serialize};
+use sos_core::opensys::JobArrival;
+use sos_core::report::Percentiles;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+
+/// Current snapshot schema version; bump on incompatible change (older
+/// snapshots are then ignored on restore rather than misread).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One request line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// The verb: `submit`, `status`, `stats`, `drain`, or `shutdown`.
+    pub cmd: String,
+    /// Benchmark name for `submit` (see `workloads::spec::Benchmark::name`).
+    pub bench: Option<String>,
+    /// Job length in solo-execution cycles (converted to instructions at
+    /// the daemon's calibrated solo IPC for `bench`).
+    pub cycles: Option<u64>,
+    /// Job length in instructions (overrides `cycles` when both are given).
+    pub instructions: Option<u64>,
+    /// Whether the job is strongly phased.
+    pub phased: Option<bool>,
+}
+
+impl Request {
+    /// A bare verb with no payload.
+    pub fn verb(cmd: &str) -> Self {
+        Request {
+            cmd: cmd.to_string(),
+            bench: None,
+            cycles: None,
+            instructions: None,
+            phased: None,
+        }
+    }
+
+    /// A `submit` request for `cycles` of solo work on `bench`.
+    pub fn submit_cycles(bench: &str, cycles: u64, phased: bool) -> Self {
+        Request {
+            cmd: "submit".to_string(),
+            bench: Some(bench.to_string()),
+            cycles: Some(cycles),
+            instructions: None,
+            phased: Some(phased),
+        }
+    }
+}
+
+/// Queue/counter section of a `status` reply.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StatusReply {
+    /// Scheduling policy (`naive` / `sos`).
+    pub policy: String,
+    /// SMT level of the simulated machine.
+    pub smt: u64,
+    /// Jobs currently in the system.
+    pub live: u64,
+    /// Admission cap (jobs in system).
+    pub queue_cap: u64,
+    /// Jobs admitted over the daemon's lifetime (including restored runs).
+    pub submitted: u64,
+    /// Jobs completed (including completions restored from a snapshot).
+    pub completed: u64,
+    /// Jobs refused with backpressure.
+    pub rejected: u64,
+    /// Simulated clock in cycles.
+    pub now_cycles: u64,
+    /// Whether a drain is in progress (no new admissions).
+    pub draining: bool,
+    /// Completed jobs restored from a snapshot at startup.
+    pub restored: u64,
+}
+
+/// Latency section of a `stats` reply.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StatsReply {
+    /// Completed jobs the summary covers.
+    pub completed: u64,
+    /// Mean response time in cycles.
+    pub mean_response: f64,
+    /// Exact response-time percentiles (nearest-rank over all records).
+    pub response: Percentiles,
+    /// Mean slowdown (response / solo service time).
+    pub mean_slowdown: f64,
+    /// Exact slowdown percentiles.
+    pub slowdown: Percentiles,
+    /// Approximate response-time percentiles from the telemetry registry's
+    /// log2-bucket histogram (what a metrics exporter would see).
+    pub response_approx: Percentiles,
+    /// SOS sample phases entered.
+    pub resamples: u64,
+    /// Evaluation-cache hits (see `sos_core::cache`).
+    pub cache_hits: u64,
+    /// Evaluation-cache misses.
+    pub cache_misses: u64,
+}
+
+/// One reply line.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Response {
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Diagnostic when `ok` is false (`backpressure`, `draining`, parse
+    /// errors, …).
+    pub error: Option<String>,
+    /// Job id for a successful `submit`.
+    pub id: Option<u64>,
+    /// Payload of a `status` reply.
+    pub status: Option<StatusReply>,
+    /// Payload of a `stats` reply.
+    pub stats: Option<StatsReply>,
+}
+
+impl Response {
+    /// A bare success.
+    pub fn ok() -> Self {
+        Response {
+            ok: true,
+            error: None,
+            id: None,
+            status: None,
+            stats: None,
+        }
+    }
+
+    /// A failure with a diagnostic.
+    pub fn err(msg: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            error: Some(msg.into()),
+            id: None,
+            status: None,
+            stats: None,
+        }
+    }
+}
+
+/// One completed job as persisted in a snapshot (the fields the stats verb
+/// needs, without the full arrival record).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// Arrival time in cycles.
+    pub arrival: u64,
+    /// Response time in cycles.
+    pub response: u64,
+    /// Response / solo service time.
+    pub slowdown: f64,
+}
+
+/// The daemon's persistent state, written atomically on a period and on
+/// shutdown, restored on restart.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]); mismatches are ignored.
+    pub version: u32,
+    /// Scheduling policy the snapshot was taken under.
+    pub policy: String,
+    /// SMT level.
+    pub smt: u64,
+    /// Engine seed (restored so candidate draws stay seeded).
+    pub seed: u64,
+    /// Simulated clock at snapshot time.
+    pub now_cycles: u64,
+    /// Jobs admitted up to snapshot time.
+    pub submitted: u64,
+    /// Jobs refused with backpressure up to snapshot time.
+    pub rejected: u64,
+    /// Completed-job records (exact accounting across restarts).
+    pub completed: Vec<CompletedJob>,
+    /// Jobs that were in flight; re-queued from scratch on restore.
+    pub inflight: Vec<JobArrival>,
+}
+
+impl Snapshot {
+    /// The snapshot path inside a state directory.
+    pub fn path_in(dir: &Path) -> std::path::PathBuf {
+        dir.join("snapshot.json")
+    }
+
+    /// Writes the snapshot atomically (temp file + rename) under `dir`,
+    /// creating the directory if needed.
+    pub fn store(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join("snapshot.json.tmp");
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, Self::path_in(dir))
+    }
+
+    /// Loads the latest snapshot from `dir`. Returns `None` when there is no
+    /// snapshot, it fails to parse, or its version does not match —
+    /// restore is best-effort, a bad snapshot must never stop the daemon.
+    pub fn load(dir: &Path) -> Option<Snapshot> {
+        let text = std::fs::read_to_string(Self::path_in(dir)).ok()?;
+        let snap: Snapshot = serde_json::from_str(&text).ok()?;
+        if snap.version != SNAPSHOT_VERSION {
+            return None;
+        }
+        Some(snap)
+    }
+}
+
+/// A blocking JSON-lines client for `sos-serve` (used by `sos-loadgen` and
+/// the protocol tests).
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon address like `127.0.0.1:7077`.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends one request and blocks for its reply.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let json = serde_json::to_string(req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&json)
+    }
+
+    /// Sends one raw line (useful for malformed-input tests) and blocks for
+    /// the reply.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<Response> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(reply.trim_end()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad reply {reply:?}: {e}"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request::submit_cycles("gcc", 500_000, true);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cmd, "submit");
+        assert_eq!(back.bench.as_deref(), Some("gcc"));
+        assert_eq!(back.cycles, Some(500_000));
+        assert_eq!(back.phased, Some(true));
+    }
+
+    #[test]
+    fn bare_verb_omits_payload_fields_gracefully() {
+        // A hand-written client may send only {"cmd":"status"}; every other
+        // field must default to None.
+        let back: Request = serde_json::from_str(r#"{"cmd":"status"}"#).unwrap();
+        assert_eq!(back.cmd, "status");
+        assert!(back.bench.is_none() && back.cycles.is_none() && back.instructions.is_none());
+    }
+
+    #[test]
+    fn response_round_trips_with_error() {
+        let r = Response::err("backpressure");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert!(!back.ok);
+        assert_eq!(back.error.as_deref(), Some("backpressure"));
+    }
+
+    #[test]
+    fn snapshot_store_and_load() {
+        let dir = std::env::temp_dir().join(format!("sos-serve-test-{}", std::process::id()));
+        let snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            policy: "sos".into(),
+            smt: 2,
+            seed: 7,
+            now_cycles: 123_456,
+            submitted: 10,
+            rejected: 1,
+            completed: vec![CompletedJob {
+                arrival: 5,
+                response: 100,
+                slowdown: 1.5,
+            }],
+            inflight: Vec::new(),
+        };
+        snap.store(&dir).expect("store");
+        let back = Snapshot::load(&dir).expect("load");
+        assert_eq!(back.now_cycles, 123_456);
+        assert_eq!(back.completed.len(), 1);
+        assert_eq!(back.completed[0].response, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_version_mismatch_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("sos-serve-ver-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            Snapshot::path_in(&dir),
+            r#"{"version":999,"policy":"sos","smt":2,"seed":0,"now_cycles":0,"submitted":0,"rejected":0,"completed":[],"inflight":[]}"#,
+        )
+        .unwrap();
+        assert!(Snapshot::load(&dir).is_none());
+        // Corrupt JSON is equally non-fatal.
+        std::fs::write(Snapshot::path_in(&dir), "{not json").unwrap();
+        assert!(Snapshot::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,108 @@
+//! Snapshot/restore integration test: SIGKILL the daemon mid-run, restart
+//! it on the same state directory, and check that completed-job accounting
+//! resumes from the latest snapshot and that the re-queued in-flight jobs
+//! still complete.
+
+mod common;
+
+use common::{spawn_daemon, wait_exit};
+use sos_bench::serve::{Client, Request, Snapshot};
+use std::time::{Duration, Instant};
+
+#[test]
+fn kill_then_restart_resumes_from_latest_snapshot() {
+    let dir = std::env::temp_dir().join(format!("sos-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_str = dir.to_str().expect("utf-8 temp path");
+
+    let common_args = [
+        "--snapshot-dir",
+        dir_str,
+        "--snapshot-every",
+        "1",
+        "--calibration-cycles",
+        "4000",
+        "--seed",
+        "7",
+    ];
+
+    // First life: submit 6 jobs, wait until the snapshot shows progress
+    // with work still in flight, then SIGKILL (no drain, no final
+    // snapshot — exactly the crash the restore path is for).
+    let (mut daemon, addr) = spawn_daemon(&common_args);
+    let mut client = Client::connect(&addr).expect("connect");
+    const JOBS: u64 = 6;
+    for _ in 0..JOBS {
+        let resp = client
+            .request(&Request::submit_cycles("gcc", 400_000, false))
+            .expect("reply");
+        assert!(resp.ok, "admission failed: {:?}", resp.error);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(snap) = Snapshot::load(&dir) {
+            // Kill as soon as progress is visible; ideally with work still
+            // in flight, but a snapshot that already completed everything
+            // still exercises restore-of-completed-accounting.
+            if !snap.completed.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no usable snapshot appeared in {}",
+            dir.display()
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    daemon.kill().expect("SIGKILL daemon");
+    let _ = daemon.wait();
+    // The daemon kept running (and snapshotting) between the poll above and
+    // the SIGKILL; what restore will see is the file as left on disk.
+    let snap_at_kill = Snapshot::load(&dir).expect("snapshot survives the kill");
+    assert_eq!(snap_at_kill.submitted, JOBS);
+    let completed_at_kill = snap_at_kill.completed.len() as u64;
+    assert!(completed_at_kill >= 1);
+
+    // Second life: same state directory. Completed accounting must be
+    // restored exactly; in-flight jobs are re-queued and finish.
+    let (mut daemon, addr) = spawn_daemon(&common_args);
+    let mut client = Client::connect(&addr).expect("connect");
+    let status = client
+        .request(&Request::verb("status"))
+        .expect("reply")
+        .status
+        .expect("status payload");
+    assert_eq!(status.restored, completed_at_kill);
+    assert_eq!(status.submitted, JOBS);
+    assert!(status.completed >= completed_at_kill);
+
+    let resp = client.request(&Request::verb("drain")).expect("reply");
+    assert!(resp.ok);
+    let status = client
+        .request(&Request::verb("status"))
+        .expect("reply")
+        .status
+        .expect("status payload");
+    assert_eq!(status.live, 0);
+    assert_eq!(
+        status.completed, JOBS,
+        "every job submitted before the crash must be accounted completed after restart"
+    );
+
+    let stats = client
+        .request(&Request::verb("stats"))
+        .expect("reply")
+        .stats
+        .expect("stats payload");
+    assert_eq!(stats.completed, JOBS);
+    assert!(stats.response.p99.is_finite());
+
+    let resp = client.request(&Request::verb("shutdown")).expect("reply");
+    assert!(resp.ok);
+    let status = wait_exit(&mut daemon, Duration::from_secs(60));
+    assert!(status.success(), "daemon exited {status:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

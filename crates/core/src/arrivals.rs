@@ -1,0 +1,190 @@
+//! Seeded arrival-trace generation, shared by the batch open system
+//! ([`crate::opensys`]) and the serving-layer load generator (`sos-loadgen`
+//! in the bench crate).
+//!
+//! The trace is a *pure function of the spec* — in particular of its seed —
+//! so two schedulers (or a load generator and an offline replay) can be fed
+//! byte-identical workloads. Job lengths are drawn in solo-execution cycles
+//! (`Exp(T)`) and converted to instructions at each benchmark's solo IPC,
+//! which the caller provides per benchmark (pass a unit map to keep lengths
+//! in cycles).
+
+use crate::dist::Exponential;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use workloads::spec::Benchmark;
+
+/// The benchmarks open-system jobs are drawn from (the single-threaded jobs
+/// of Table 1).
+pub const JOB_KINDS: [Benchmark; 12] = [
+    Benchmark::Fp,
+    Benchmark::Mg,
+    Benchmark::Wave,
+    Benchmark::Swim,
+    Benchmark::Su2cor,
+    Benchmark::Turb3d,
+    Benchmark::Gcc,
+    Benchmark::Go,
+    Benchmark::Is,
+    Benchmark::Cg,
+    Benchmark::Ep,
+    Benchmark::Ft,
+];
+
+/// One generated job (before execution).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobArrival {
+    /// Arrival time in cycles.
+    pub arrival: u64,
+    /// Which benchmark the job runs.
+    pub benchmark: Benchmark,
+    /// Job length in instructions.
+    pub instructions: u64,
+    /// Whether the job is strongly phased (see
+    /// [`crate::opensys::OpenSystemConfig::phased_fraction`]).
+    #[serde(default)]
+    pub phased: bool,
+}
+
+/// Everything the arrival process depends on: the generated trace is a pure
+/// function of this spec (plus the caller's solo-IPC map).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTraceSpec {
+    /// Mean interarrival time in cycles (the paper's λ).
+    pub mean_interarrival: u64,
+    /// Mean job length in solo-execution cycles (the paper's `T`, scaled).
+    pub mean_job_cycles: u64,
+    /// Jobs to generate.
+    pub num_jobs: usize,
+    /// Fraction of arriving jobs that are strongly phased.
+    pub phased_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated arrival trace: jobs in nondecreasing arrival order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    /// The spec the trace was generated from.
+    pub spec: ArrivalTraceSpec,
+    /// The jobs, in arrival order.
+    pub jobs: Vec<JobArrival>,
+}
+
+impl ArrivalTrace {
+    /// Generates the trace for a spec: exponential interarrivals, a uniform
+    /// job-kind draw over [`JOB_KINDS`], and `Exp(T)`-cycle lengths converted
+    /// to instructions at the benchmark's solo IPC from `solo` (missing
+    /// benchmarks fall back to IPC 1.0, i.e. instructions = cycles).
+    ///
+    /// # Panics
+    /// Panics if `mean_interarrival` or `mean_job_cycles` is zero (the
+    /// exponential mean must be positive).
+    pub fn generate(spec: &ArrivalTraceSpec, solo: &HashMap<Benchmark, f64>) -> Self {
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let inter = Exponential::with_mean(spec.mean_interarrival as f64);
+        let length = Exponential::with_mean(spec.mean_job_cycles as f64);
+        let mut t = 0u64;
+        let mut jobs = Vec::with_capacity(spec.num_jobs);
+        for _ in 0..spec.num_jobs {
+            t += inter.sample_cycles(&mut rng);
+            let benchmark = JOB_KINDS[rng.gen_range(0..JOB_KINDS.len())];
+            let cycles = length.sample_cycles(&mut rng);
+            let ipc = solo.get(&benchmark).copied().unwrap_or(1.0);
+            let instructions = ((cycles as f64 * ipc) as u64).max(1_000);
+            let phased = spec.phased_fraction > 0.0 && rng.gen_bool(spec.phased_fraction.min(1.0));
+            jobs.push(JobArrival {
+                arrival: t,
+                benchmark,
+                instructions,
+                phased,
+            });
+        }
+        ArrivalTrace {
+            spec: spec.clone(),
+            jobs,
+        }
+    }
+
+    /// Generates a trace whose job lengths stay in solo cycles (unit IPC for
+    /// every benchmark) — the form `sos-loadgen` replays, leaving the
+    /// cycles-to-instructions conversion to the serving side's calibration.
+    pub fn generate_in_cycles(spec: &ArrivalTraceSpec) -> Self {
+        Self::generate(spec, &HashMap::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::parallel_map_with_workers;
+
+    fn spec() -> ArrivalTraceSpec {
+        ArrivalTraceSpec {
+            mean_interarrival: 30_000,
+            mean_job_cycles: 60_000,
+            num_jobs: 40,
+            phased_fraction: 0.25,
+            seed: 0xBEEF,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace_across_runs() {
+        let a = ArrivalTrace::generate_in_cycles(&spec());
+        let b = ArrivalTrace::generate_in_cycles(&spec());
+        assert_eq!(a, b);
+        assert!(a.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(a.jobs.len(), 40);
+    }
+
+    #[test]
+    fn same_seed_same_trace_across_thread_counts() {
+        // Generation must not depend on ambient parallelism: generating the
+        // same trace concurrently from many workers yields identical bytes.
+        let serial = ArrivalTrace::generate_in_cycles(&spec());
+        for workers in [1usize, 2, 8] {
+            let copies = parallel_map_with_workers(vec![(); 8], workers, |_| {
+                ArrivalTrace::generate_in_cycles(&spec())
+            });
+            for c in copies {
+                assert_eq!(c, serial, "trace diverged at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ArrivalTrace::generate_in_cycles(&spec());
+        let mut other = spec();
+        other.seed ^= 1;
+        let b = ArrivalTrace::generate_in_cycles(&other);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn solo_map_scales_lengths() {
+        let fast: HashMap<Benchmark, f64> = JOB_KINDS.iter().map(|&b| (b, 2.0)).collect();
+        let unit = ArrivalTrace::generate_in_cycles(&spec());
+        let scaled = ArrivalTrace::generate(&spec(), &fast);
+        for (u, s) in unit.jobs.iter().zip(scaled.jobs.iter()) {
+            assert_eq!(u.arrival, s.arrival);
+            assert_eq!(u.benchmark, s.benchmark);
+            // 2× IPC ⇒ 2× instructions for the same cycle budget (up to the
+            // shared 1000-instruction floor).
+            if u.instructions > 1_000 {
+                assert_eq!(s.instructions, (u.instructions as f64 * 2.0) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = ArrivalTrace::generate_in_cycles(&spec());
+        let json = serde_json::to_string(&t).expect("serializes");
+        let back: ArrivalTrace = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, t);
+    }
+}

@@ -30,8 +30,15 @@
 //! * [`report`] — aggregate reporting (the predictor league table).
 //! * [`hier`] — hierarchical symbiosis (§7): allocating hardware contexts to
 //!   multithreaded jobs.
+//! * [`arrivals`] — seeded arrival-trace generation (exponential
+//!   interarrivals, job-kind draws), shared by the batch open system and the
+//!   serving-layer load generator.
+//! * [`online`] — the event-driven online scheduling engine: job
+//!   submissions, timeslice ticks, SOS-or-naive policy, response-time
+//!   accounting. Drives both the batch §9 reproduction and `sos-serve`.
 //! * [`opensys`] — the open system of §9: exponential arrivals/departures,
-//!   resampling with exponential backoff, response-time accounting.
+//!   resampling with exponential backoff, response-time accounting (batch
+//!   replay of an arrival trace through the online engine).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod arrivals;
 pub mod cache;
 pub mod dist;
 pub mod enumerate;
@@ -54,6 +62,7 @@ pub mod experiment;
 pub mod hier;
 pub mod job;
 pub mod naive;
+pub mod online;
 pub mod opensys;
 pub mod par;
 pub mod predictor;

@@ -1,0 +1,815 @@
+//! The event-driven online scheduling engine behind both the batch open
+//! system ([`crate::opensys`]) and the `sos-serve` daemon.
+//!
+//! The §9 open-system loop used to live inline in `opensys.rs`, welded to a
+//! pre-generated arrival trace. This module factors it into an
+//! [`OnlineEngine`] driven by *events*: job submissions ([`OnlineEngine::submit`]),
+//! timeslice ticks ([`OnlineEngine::step`]), and idle fast-forwards
+//! ([`OnlineEngine::jump_to`]). The batch simulation replays an
+//! [`crate::arrivals::ArrivalTrace`] through the engine; a long-running
+//! service feeds it submissions as they arrive over the wire. Both paths run
+//! the exact same scheduler state machine — naive arrival-order rotation, or
+//! SOS with resampling on every arrival/departure/timer expiry, exponential
+//! backoff, and optional drift-triggered resampling.
+//!
+//! Determinism: given the same configuration and the same sequence of
+//! `submit`/`step`/`jump_to` calls, the engine's behaviour (including its
+//! RNG draws for candidate schedules) is byte-identical across runs.
+
+use crate::arrivals::JobArrival;
+use crate::predictor::PredictorKind;
+use crate::sample::ScheduleSample;
+use crate::schedule::Schedule;
+use crate::telemetry::{self, Attr, TelemetryObserver};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use smtsim::trace::{InstructionSource, StreamId};
+use smtsim::{MachineConfig, Processor, TimesliceStats};
+use workloads::phased::{fp_int_alternator, PhasedStream};
+use workloads::synth::SyntheticStream;
+
+/// Which scheduler drives the system.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Coschedule in arrival order ("random, or naive").
+    Naive,
+    /// Sample-Optimize-Symbios.
+    Sos,
+}
+
+impl SchedulerKind {
+    /// Parses a policy name (`"naive"` / `"sos"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "naive" => Some(SchedulerKind::Naive),
+            "sos" => Some(SchedulerKind::Sos),
+            _ => None,
+        }
+    }
+
+    /// The lowercase policy name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Naive => "naive",
+            SchedulerKind::Sos => "sos",
+        }
+    }
+}
+
+/// One completed job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The arrival it came from.
+    pub arrival: JobArrival,
+    /// Completion time in cycles.
+    pub departure: u64,
+}
+
+impl JobRecord {
+    /// Response time (arrival to departure).
+    pub fn response(&self) -> u64 {
+        self.departure - self.arrival.arrival
+    }
+}
+
+/// Engine configuration: the scheduler-facing subset of
+/// [`crate::opensys::OpenSystemConfig`], decoupled from trace generation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineConfig {
+    /// Hardware contexts (the SMT level).
+    pub smt: usize,
+    /// Scheduler clock in cycles.
+    pub timeslice: u64,
+    /// Schedules sampled per SOS sample phase.
+    pub sample_schedules: usize,
+    /// Predictor SOS uses.
+    pub predictor: PredictorKind,
+    /// Optional execution-drift trigger (see
+    /// [`crate::opensys::OpenSystemConfig::drift_threshold`]).
+    pub drift_threshold: Option<f64>,
+    /// Base symbiosis interval (the paper reverts the symbios-phase duration
+    /// to λ on every mix change; a service without a known λ picks a
+    /// configured interval).
+    pub base_interval: u64,
+    /// RNG seed for candidate-schedule draws and per-job stream seeds.
+    pub seed: u64,
+}
+
+impl OnlineConfig {
+    fn validate(&self) {
+        assert!(
+            self.smt > 0 && self.timeslice > 0 && self.base_interval > 0,
+            "bad online configuration"
+        );
+    }
+}
+
+/// The instruction stream of a live job.
+#[allow(clippy::large_enum_variant)] // a handful of live jobs at a time
+enum JobStream {
+    Steady(SyntheticStream),
+    Phased(PhasedStream),
+}
+
+impl JobStream {
+    fn is_finished(&self) -> bool {
+        match self {
+            JobStream::Steady(s) => s.is_finished(),
+            JobStream::Phased(s) => s.is_finished(),
+        }
+    }
+}
+
+impl InstructionSource for JobStream {
+    fn next_instr(&mut self) -> smtsim::trace::Fetch {
+        match self {
+            JobStream::Steady(s) => s.next_instr(),
+            JobStream::Phased(s) => s.next_instr(),
+        }
+    }
+    fn id(&self) -> StreamId {
+        match self {
+            JobStream::Steady(s) => s.id(),
+            JobStream::Phased(s) => s.id(),
+        }
+    }
+}
+
+/// A live job in the system.
+struct LiveJob {
+    key: usize, // submission index, stable for the engine's lifetime
+    arrival: JobArrival,
+    stream: JobStream,
+}
+
+impl LiveJob {
+    fn finished(&self) -> bool {
+        self.stream.is_finished()
+    }
+}
+
+/// The scheduler's mode.
+#[allow(clippy::large_enum_variant)] // one Mode per engine; size is irrelevant
+enum Mode {
+    /// Rotate over arrival order (the naive control, and SOS when all jobs
+    /// fit on the machine).
+    Rotate,
+    /// SOS sample phase: profiling candidate orders one rotation each.
+    Sampling {
+        candidates: Vec<Vec<usize>>, // circular orders of live-job keys
+        current: usize,
+        slice_in_rotation: usize,
+        collected: Vec<Vec<TimesliceStats>>,
+    },
+    /// SOS symbios phase: running the chosen order until the timer expires
+    /// (or execution drifts from the sampled prediction).
+    Symbios {
+        order: Vec<usize>,
+        until: u64,
+        /// Aggregate IPC the chosen schedule showed in the sample phase.
+        predicted_ipc: f64,
+        /// Consecutive slices whose IPC deviated beyond the drift threshold.
+        drift_streak: u32,
+    },
+}
+
+/// Full scheduler state.
+struct SchedulerState {
+    kind: SchedulerKind,
+    mode: Mode,
+    slice: usize,
+    /// Current symbiosis interval (doubles under backoff).
+    interval: u64,
+    /// The previous symbios pick, for backoff comparison.
+    last_pick: Option<Vec<usize>>,
+    /// Whether the current sample phase was triggered by a timer (a repeat
+    /// prediction then doubles the interval) rather than a mix change.
+    timer_triggered: bool,
+}
+
+impl SchedulerState {
+    fn new(kind: SchedulerKind, interval: u64) -> Self {
+        SchedulerState {
+            kind,
+            mode: Mode::Rotate,
+            slice: 0,
+            interval,
+            last_pick: None,
+            timer_triggered: false,
+        }
+    }
+}
+
+/// The event-driven online scheduling engine.
+///
+/// Lifecycle: [`submit`](Self::submit) jobs (at the engine's current time or
+/// later per their `arrival` stamp), [`step`](Self::step) to run one
+/// timeslice and collect departures, [`jump_to`](Self::jump_to) to
+/// fast-forward across idle gaps. See the module docs for how the batch
+/// open system and the `sos-serve` daemon drive it.
+pub struct OnlineEngine {
+    cfg: OnlineConfig,
+    cpu: Processor,
+    rng: SmallRng,
+    now: u64,
+    live: Vec<LiveJob>,
+    state: SchedulerState,
+    next_key: usize,
+    completed: u64,
+    population_cycles: u128,
+    resamples: u64,
+    pending_mix_change: bool,
+}
+
+impl OnlineEngine {
+    /// Builds an engine on a fresh Alpha-21264-like machine at the
+    /// configured SMT level.
+    ///
+    /// # Panics
+    /// Panics if `cfg.smt == 0`, `cfg.timeslice == 0`, or
+    /// `cfg.base_interval == 0`.
+    pub fn new(kind: SchedulerKind, cfg: &OnlineConfig) -> Self {
+        cfg.validate();
+        let mut cpu = Processor::new(MachineConfig::alpha21264_like(cfg.smt));
+        if telemetry::is_enabled() {
+            cpu.set_observer(Box::new(TelemetryObserver::new()));
+        }
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5c4ed);
+        OnlineEngine {
+            cfg: cfg.clone(),
+            cpu,
+            rng,
+            now: 0,
+            live: Vec::new(),
+            state: SchedulerState::new(kind, cfg.base_interval),
+            next_key: 0,
+            completed: 0,
+            population_cycles: 0,
+            resamples: 0,
+            pending_mix_change: false,
+        }
+    }
+
+    /// Which scheduler drives this engine.
+    pub fn kind(&self) -> SchedulerKind {
+        self.state.kind
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Jobs currently in the system.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Jobs submitted over the engine's lifetime.
+    pub fn submitted(&self) -> usize {
+        self.next_key
+    }
+
+    /// Jobs completed over the engine's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Sample phases entered (always 0 for the naive scheduler).
+    pub fn resamples(&self) -> u64 {
+        self.resamples
+    }
+
+    /// Time-averaged number of jobs resident (Little's-law `N`).
+    pub fn mean_population(&self) -> f64 {
+        self.population_cycles as f64 / self.now.max(1) as f64
+    }
+
+    /// The arrival records of the jobs currently in the system (used for
+    /// snapshots: an in-flight job is re-queued from this record).
+    pub fn live_arrivals(&self) -> Vec<JobArrival> {
+        self.live.iter().map(|j| j.arrival.clone()).collect()
+    }
+
+    /// Fast-forwards simulated time across an idle gap (no accounting: the
+    /// system is empty, so no population or response time accrues). Also
+    /// used on restore to resume the clock from a snapshot.
+    pub fn jump_to(&mut self, t: u64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Admits a job into the system and returns its key (the submission
+    /// index). The job's `arrival` stamp is used for response-time
+    /// accounting; a service submits with `arrival = engine.now()`.
+    ///
+    /// Scheduling reacts at the next [`step`](Self::step): the mix change is
+    /// recorded and triggers a replan (for SOS, a resample) there.
+    pub fn submit(&mut self, arrival: JobArrival) -> usize {
+        let key = self.next_key;
+        self.next_key += 1;
+        telemetry::instant(
+            "opensys",
+            "opensys.arrival",
+            vec![
+                Attr::num("job", key as f64),
+                Attr::text("benchmark", format!("{:?}", arrival.benchmark)),
+                Attr::text("phased", if arrival.phased { "true" } else { "false" }),
+            ],
+        );
+        telemetry::counter_add("opensys.arrivals", 1);
+        let id = StreamId(key as u32);
+        let job_seed = self.cfg.seed ^ (key as u64).wrapping_mul(0x9e37);
+        let stream = if arrival.phased {
+            // Phase length ~ a handful of timeslices' worth of work, so
+            // personalities shift at the granularity resampling can see.
+            JobStream::Phased(
+                fp_int_alternator(self.cfg.timeslice * 8, id, job_seed)
+                    .with_limit(arrival.instructions),
+            )
+        } else {
+            JobStream::Steady(
+                SyntheticStream::new(arrival.benchmark.profile(), id, job_seed)
+                    .with_limit(arrival.instructions),
+            )
+        };
+        self.live.push(LiveJob {
+            key,
+            arrival,
+            stream,
+        });
+        self.pending_mix_change = true;
+        key
+    }
+
+    /// Runs one timeslice: replans if the mix changed since the last step,
+    /// honours the symbiosis timer, executes the scheduled tuple, advances
+    /// the state machine, and returns the jobs that departed.
+    ///
+    /// A step with no live jobs is a no-op returning an empty vec (time does
+    /// not advance; use [`jump_to`](Self::jump_to) for idle gaps).
+    pub fn step(&mut self) -> Vec<JobRecord> {
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        telemetry::set_clock(self.now);
+        if self.pending_mix_change {
+            self.pending_mix_change = false;
+            telemetry::gauge_set("opensys.jobs_in_system", self.live.len() as f64);
+            self.replan(false);
+            if matches!(self.state.mode, Mode::Sampling { .. }) {
+                self.resamples += 1;
+                telemetry::instant(
+                    "opensys",
+                    "opensys.resample",
+                    vec![
+                        Attr::text("trigger", "arrival"),
+                        Attr::num("live", self.live.len() as f64),
+                    ],
+                );
+                telemetry::counter_add("opensys.resamples", 1);
+            }
+        }
+        // Symbios timer (or pending drift trigger)?
+        if let Mode::Symbios { until, .. } = &self.state.mode {
+            if self.now >= *until && self.live.len() > self.cfg.smt {
+                self.replan(true);
+                if matches!(self.state.mode, Mode::Sampling { .. }) {
+                    self.resamples += 1;
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.resample",
+                        vec![
+                            Attr::text("trigger", "timer"),
+                            Attr::num("live", self.live.len() as f64),
+                        ],
+                    );
+                    telemetry::counter_add("opensys.resamples", 1);
+                }
+            }
+        }
+
+        // Run one timeslice.
+        let tuple_keys = current_tuple(&self.state, &self.cfg, &self.live);
+        let tuple_positions: Vec<usize> = tuple_keys
+            .iter()
+            .filter_map(|k| self.live.iter().position(|j| j.key == *k))
+            .collect();
+        let stats = run_tuple(
+            &mut self.cpu,
+            &mut self.live,
+            &tuple_positions,
+            self.cfg.timeslice,
+        );
+        self.population_cycles += (self.live.len() as u128) * (self.cfg.timeslice as u128);
+        self.now += self.cfg.timeslice;
+        advance_after_slice(&mut self.state, &self.cfg, &stats, self.now);
+
+        // Departures.
+        let now = self.now;
+        let mut departed = Vec::new();
+        self.live.retain(|j| {
+            if j.finished() {
+                let response = now.saturating_sub(j.arrival.arrival);
+                telemetry::instant(
+                    "opensys",
+                    "opensys.departure",
+                    vec![
+                        Attr::num("job", j.key as f64),
+                        Attr::num("response_cycles", response as f64),
+                    ],
+                );
+                telemetry::counter_add("opensys.departures", 1);
+                telemetry::histogram_record("opensys.response_cycles", response);
+                departed.push(JobRecord {
+                    arrival: j.arrival.clone(),
+                    departure: now,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        if !departed.is_empty() {
+            self.completed += departed.len() as u64;
+            telemetry::gauge_set("opensys.jobs_in_system", self.live.len() as f64);
+            if !self.live.is_empty() {
+                self.replan(false);
+                if matches!(self.state.mode, Mode::Sampling { .. }) {
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.resample",
+                        vec![
+                            Attr::text("trigger", "departure"),
+                            Attr::num("live", self.live.len() as f64),
+                        ],
+                    );
+                }
+            }
+        }
+        departed
+    }
+
+    /// Re-plans after an arrival, a departure, or a symbiosis-timer expiry.
+    fn replan(&mut self, timer: bool) {
+        let state = &mut self.state;
+        let cfg = &self.cfg;
+        state.slice = 0;
+        state.timer_triggered = timer;
+        if !timer {
+            // "When a job arrives or departs ... the duration of the
+            // symbiosis phase reverts to λ."
+            state.interval = cfg.base_interval;
+            state.last_pick = None;
+        }
+        match state.kind {
+            SchedulerKind::Naive => {
+                state.mode = Mode::Rotate;
+            }
+            SchedulerKind::Sos => {
+                let keys: Vec<usize> = self.live.iter().map(|j| j.key).collect();
+                if keys.len() <= cfg.smt {
+                    state.mode = Mode::Rotate;
+                    return;
+                }
+                // Draw distinct candidate circular orders.
+                let mut candidates: Vec<Vec<usize>> = Vec::new();
+                let mut seen = std::collections::HashSet::new();
+                let budget = cfg.sample_schedules.max(1);
+                let mut attempts = 0;
+                while candidates.len() < budget && attempts < budget * 30 {
+                    attempts += 1;
+                    let mut order = keys.clone();
+                    order.shuffle(&mut self.rng);
+                    if seen.insert(schedule_of(&order, cfg.smt).canonical_key()) {
+                        candidates.push(order);
+                    }
+                }
+                let n = candidates.len();
+                state.mode = Mode::Sampling {
+                    candidates,
+                    current: 0,
+                    slice_in_rotation: 0,
+                    collected: vec![Vec::new(); n],
+                };
+            }
+        }
+    }
+}
+
+/// The schedule implied by a circular order of keys at SMT level `y`
+/// (swap-all discipline).
+fn schedule_of(order: &[usize], y: usize) -> Schedule {
+    let mut dense: Vec<usize> = order.to_vec();
+    let mut sorted = dense.clone();
+    sorted.sort_unstable();
+    for v in dense.iter_mut() {
+        *v = sorted.binary_search(v).expect("present");
+    }
+    let y = y.min(dense.len()).max(1);
+    Schedule::new(dense, y, y)
+}
+
+/// Window of `y` keys starting at `slice·y` in the circular `order`,
+/// restricted to keys still live.
+fn window(order: &[usize], live: &[LiveJob], y: usize, slice: usize) -> Vec<usize> {
+    let alive: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|k| live.iter().any(|j| j.key == *k))
+        .collect();
+    let n = alive.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let y = y.min(n);
+    let start = (slice * y) % n;
+    (0..y).map(|k| alive[(start + k) % n]).collect()
+}
+
+/// The tuple to run this timeslice (does not advance state).
+fn current_tuple(state: &SchedulerState, cfg: &OnlineConfig, live: &[LiveJob]) -> Vec<usize> {
+    let arrival_order: Vec<usize> = live.iter().map(|j| j.key).collect();
+    match &state.mode {
+        Mode::Rotate => window(&arrival_order, live, cfg.smt, state.slice),
+        Mode::Sampling {
+            candidates,
+            current,
+            slice_in_rotation,
+            ..
+        } => window(&candidates[*current], live, cfg.smt, *slice_in_rotation),
+        Mode::Symbios { order, .. } => window(order, live, cfg.smt, state.slice),
+    }
+}
+
+/// Books the finished slice and advances the scheduler state machine.
+fn advance_after_slice(
+    state: &mut SchedulerState,
+    cfg: &OnlineConfig,
+    stats: &TimesliceStats,
+    now: u64,
+) {
+    state.slice += 1;
+    // Drift detection (§9 extension): if the running schedule stops behaving
+    // like its sample, force an early resample by expiring the timer.
+    if let (
+        Mode::Symbios {
+            until,
+            predicted_ipc,
+            drift_streak,
+            ..
+        },
+        Some(threshold),
+    ) = (&mut state.mode, cfg.drift_threshold)
+    {
+        if *predicted_ipc > 0.0 {
+            let observed = stats.total_ipc();
+            let deviation = (observed - *predicted_ipc).abs() / *predicted_ipc;
+            if deviation > threshold {
+                *drift_streak += 1;
+                if *drift_streak >= 3 {
+                    *until = now; // resample at the next scheduling point
+                    state.last_pick = None; // do not back off after a drift
+                }
+            } else {
+                *drift_streak = 0;
+            }
+        }
+    }
+    let timer_triggered = state.timer_triggered;
+    let prev_pick = state.last_pick.clone();
+    let interval = state.interval;
+    if let Mode::Sampling {
+        candidates,
+        current,
+        slice_in_rotation,
+        collected,
+    } = &mut state.mode
+    {
+        collected[*current].push(stats.clone());
+        *slice_in_rotation += 1;
+        // One *full* rotation: the schedule's complete tuple set ("the
+        // minimum time required to evaluate the schedule", §5.2). Sampling
+        // fewer windows would leave most of the symbios-phase tuples unseen.
+        let x = candidates[*current].len();
+        let y = cfg.smt.min(x).max(1);
+        let slices_per_rotation = slices_for(x, y);
+        if *slice_in_rotation >= slices_per_rotation {
+            *slice_in_rotation = 0;
+            *current += 1;
+            if *current >= candidates.len() {
+                // Predict and enter symbios.
+                let samples: Vec<ScheduleSample> = candidates
+                    .iter()
+                    .zip(collected.iter())
+                    .filter(|(_, sl)| !sl.is_empty())
+                    .map(|(ord, slices)| condense(ord, cfg.smt, slices))
+                    .collect();
+                let pick = if samples.is_empty() {
+                    0
+                } else {
+                    cfg.predictor.choose(&samples)
+                };
+                let order = candidates.get(pick).cloned().unwrap_or_default();
+                // Exponential backoff: if a timer-triggered resample repeats
+                // the previous prediction, double the symbiosis interval.
+                let new_interval = if timer_triggered && prev_pick.as_deref() == Some(&order[..]) {
+                    let doubled = interval.saturating_mul(2);
+                    telemetry::instant(
+                        "opensys",
+                        "opensys.backoff",
+                        vec![Attr::num("interval", doubled as f64)],
+                    );
+                    telemetry::counter_add("opensys.backoffs", 1);
+                    doubled
+                } else {
+                    cfg.base_interval
+                };
+                let predicted_ipc = samples.get(pick).map(|s| s.ipc).unwrap_or(0.0);
+                state.interval = new_interval;
+                state.last_pick = Some(order.clone());
+                state.slice = 0;
+                state.mode = Mode::Symbios {
+                    order,
+                    until: now + new_interval,
+                    predicted_ipc,
+                    drift_streak: 0,
+                };
+            }
+        }
+    }
+}
+
+/// Timeslices in one full rotation of `x` jobs through windows of `y`
+/// advancing by `y` (the swap-all discipline): `x / gcd(x, y)`.
+fn slices_for(x: usize, y: usize) -> usize {
+    if x <= y || y == 0 {
+        1
+    } else {
+        x / gcd(x, y)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Condenses raw sample slices into a `ScheduleSample` for prediction.
+fn condense(order: &[usize], y: usize, slices: &[TimesliceStats]) -> ScheduleSample {
+    let schedule = schedule_of(order, y);
+    let rotation = crate::runner::RotationStats {
+        tuples: slices
+            .iter()
+            .map(|_| crate::schedule::Coschedule::new([0]))
+            .collect(),
+        slices: slices.to_vec(),
+    };
+    let mut s = ScheduleSample::from_rotations(&schedule, &[rotation]);
+    s.notation = format!("order{order:?}");
+    s
+}
+
+/// Runs one tuple of live jobs (by position) for a timeslice.
+fn run_tuple(
+    cpu: &mut Processor,
+    live: &mut [LiveJob],
+    positions: &[usize],
+    cycles: u64,
+) -> TimesliceStats {
+    let mut sorted = positions.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut refs: Vec<&mut dyn InstructionSource> = live
+        .iter_mut()
+        .enumerate()
+        .filter(|(i, _)| sorted.binary_search(i).is_ok())
+        .map(|(_, j)| &mut j.stream as &mut dyn InstructionSource)
+        .collect();
+    if refs.is_empty() {
+        return TimesliceStats {
+            cycles,
+            ..Default::default()
+        };
+    }
+    cpu.run_timeslice(&mut refs, cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::spec::Benchmark;
+
+    fn cfg() -> OnlineConfig {
+        OnlineConfig {
+            smt: 2,
+            timeslice: 2_000,
+            sample_schedules: 3,
+            predictor: PredictorKind::Score,
+            drift_threshold: None,
+            base_interval: 30_000,
+            seed: 77,
+        }
+    }
+
+    fn job(arrival: u64, instructions: u64) -> JobArrival {
+        JobArrival {
+            arrival,
+            benchmark: Benchmark::Gcc,
+            instructions,
+            phased: false,
+        }
+    }
+
+    #[test]
+    fn empty_step_is_a_noop() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        assert!(e.step().is_empty());
+        assert_eq!(e.now(), 0);
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        e.submit(job(0, 5_000));
+        let mut done = Vec::new();
+        for _ in 0..1_000 {
+            done.extend(e.step());
+            if e.live_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(e.completed(), 1);
+        assert!(done[0].response() >= e.config().timeslice);
+        assert!(e.mean_population() > 0.0);
+    }
+
+    #[test]
+    fn sos_engine_resamples_when_oversubscribed() {
+        let mut e = OnlineEngine::new(SchedulerKind::Sos, &cfg());
+        for i in 0..4 {
+            e.submit(job(0, 40_000 + i * 1_000));
+        }
+        for _ in 0..2_000 {
+            e.step();
+            if e.live_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(e.completed(), 4);
+        assert!(e.resamples() > 0, "4 jobs on SMT 2 must trigger sampling");
+    }
+
+    #[test]
+    fn naive_engine_never_resamples() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        for i in 0..4 {
+            e.submit(job(0, 20_000 + i * 1_000));
+        }
+        for _ in 0..2_000 {
+            e.step();
+            if e.live_count() == 0 {
+                break;
+            }
+        }
+        assert_eq!(e.resamples(), 0);
+    }
+
+    #[test]
+    fn jump_to_never_rewinds() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        e.jump_to(10_000);
+        assert_eq!(e.now(), 10_000);
+        e.jump_to(5_000);
+        assert_eq!(e.now(), 10_000);
+    }
+
+    #[test]
+    fn live_arrivals_reflect_inflight_jobs() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        e.submit(job(0, 1_000_000));
+        e.submit(job(0, 1_000_000));
+        e.step();
+        let inflight = e.live_arrivals();
+        assert_eq!(inflight.len(), 2);
+        assert!(inflight.iter().all(|a| a.instructions == 1_000_000));
+    }
+
+    #[test]
+    fn scheduler_kind_parses_both_policies() {
+        assert_eq!(SchedulerKind::parse("sos"), Some(SchedulerKind::Sos));
+        assert_eq!(SchedulerKind::parse("NAIVE"), Some(SchedulerKind::Naive));
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+        assert_eq!(SchedulerKind::Sos.name(), "sos");
+    }
+}

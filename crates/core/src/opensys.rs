@@ -17,48 +17,23 @@
 //! * **SOS**, which resamples on every arrival, departure, or expiry of the
 //!   symbiosis timer (with exponential backoff when the prediction repeats),
 //!   and runs the Score-predicted schedule in between.
+//!
+//! This module is the *batch* driver: it generates a seeded
+//! [`crate::arrivals::ArrivalTrace`] and replays it through the event-driven
+//! [`crate::online::OnlineEngine`], which holds the actual scheduler state
+//! machine (the `sos-serve` daemon drives the same engine from live TCP
+//! submissions).
 
-use crate::dist::Exponential;
-use crate::predictor::PredictorKind;
-use crate::sample::ScheduleSample;
-use crate::schedule::Schedule;
-use crate::telemetry::{self, Attr, TelemetryObserver};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crate::online::{OnlineConfig, OnlineEngine};
+use crate::telemetry::{self, Attr};
 use serde::{Deserialize, Serialize};
-use smtsim::trace::{InstructionSource, StreamId};
-use smtsim::{MachineConfig, Processor, TimesliceStats};
+use smtsim::trace::StreamId;
+use smtsim::{MachineConfig, Processor};
 use std::collections::HashMap;
-use workloads::phased::{fp_int_alternator, PhasedStream};
 use workloads::spec::Benchmark;
-use workloads::synth::SyntheticStream;
 
-/// The benchmarks open-system jobs are drawn from (the single-threaded jobs
-/// of Table 1).
-pub const JOB_KINDS: [Benchmark; 12] = [
-    Benchmark::Fp,
-    Benchmark::Mg,
-    Benchmark::Wave,
-    Benchmark::Swim,
-    Benchmark::Su2cor,
-    Benchmark::Turb3d,
-    Benchmark::Gcc,
-    Benchmark::Go,
-    Benchmark::Is,
-    Benchmark::Cg,
-    Benchmark::Ep,
-    Benchmark::Ft,
-];
-
-/// Which scheduler drives the open system.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SchedulerKind {
-    /// Coschedule in arrival order ("random, or naive").
-    Naive,
-    /// Sample-Optimize-Symbios.
-    Sos,
-}
+pub use crate::arrivals::{ArrivalTrace, ArrivalTraceSpec, JobArrival, JOB_KINDS};
+pub use crate::online::{JobRecord, SchedulerKind};
 
 /// Open-system configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -81,7 +56,7 @@ pub struct OpenSystemConfig {
     /// Schedules sampled per SOS sample phase.
     pub sample_schedules: usize,
     /// Predictor SOS uses.
-    pub predictor: PredictorKind,
+    pub predictor: crate::predictor::PredictorKind,
     /// Optional execution-drift trigger (§9: "if the jobmix is observed to
     /// be changing rapidly ... sampling frequency goes up"): when the
     /// symbios-phase IPC deviates from the sampled prediction by more than
@@ -131,42 +106,38 @@ impl OpenSystemConfig {
             calibration_cycles: 60_000,
             num_jobs: 60,
             sample_schedules: 6,
-            predictor: PredictorKind::Score,
+            predictor: crate::predictor::PredictorKind::Score,
             drift_threshold: Some(0.35),
             phased_fraction: 0.0,
             seed: 0xA11CE,
         }
     }
-}
 
-/// One generated job (before execution).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct JobArrival {
-    /// Arrival time in cycles.
-    pub arrival: u64,
-    /// Which benchmark the job runs.
-    pub benchmark: Benchmark,
-    /// Job length in instructions.
-    pub instructions: u64,
-    /// Whether the job is strongly phased (see
-    /// [`OpenSystemConfig::phased_fraction`]).
-    #[serde(default)]
-    pub phased: bool,
-}
+    /// The arrival-process subset of this configuration (what
+    /// [`ArrivalTrace::generate`] consumes).
+    pub fn trace_spec(&self) -> ArrivalTraceSpec {
+        ArrivalTraceSpec {
+            mean_interarrival: self.mean_interarrival,
+            mean_job_cycles: self.mean_job_cycles,
+            num_jobs: self.num_jobs,
+            phased_fraction: self.phased_fraction,
+            seed: self.seed,
+        }
+    }
 
-/// One completed job.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct JobRecord {
-    /// The arrival it came from.
-    pub arrival: JobArrival,
-    /// Completion time in cycles.
-    pub departure: u64,
-}
-
-impl JobRecord {
-    /// Response time (arrival to departure).
-    pub fn response(&self) -> u64 {
-        self.departure - self.arrival.arrival
+    /// The scheduler-facing subset of this configuration (what
+    /// [`OnlineEngine`] consumes). The symbiosis base interval is the mean
+    /// interarrival time, as §9 prescribes.
+    pub fn online(&self) -> OnlineConfig {
+        OnlineConfig {
+            smt: self.smt,
+            timeslice: self.timeslice,
+            sample_schedules: self.sample_schedules,
+            predictor: self.predictor,
+            drift_threshold: self.drift_threshold,
+            base_interval: self.mean_interarrival,
+            seed: self.seed,
+        }
     }
 }
 
@@ -197,34 +168,22 @@ impl OpenSystemResult {
             .sum::<f64>()
             / self.completed.len() as f64
     }
+
+    /// The response times of the completed jobs, in completion order (for
+    /// percentile reporting; see [`crate::report::percentiles`]).
+    pub fn response_times(&self) -> Vec<f64> {
+        self.completed.iter().map(|j| j.response() as f64).collect()
+    }
 }
 
 /// Generates the arrival trace for a configuration: a pure function of the
 /// seed, so SOS and the naive scheduler can be fed the same workload.
 ///
 /// Job lengths are `Exp(T)` cycles converted to instructions at the
-/// benchmark's solo IPC, which `solo` provides per benchmark.
+/// benchmark's solo IPC, which `solo` provides per benchmark. (Thin wrapper
+/// over [`ArrivalTrace::generate`], kept for the original call sites.)
 pub fn arrival_trace(cfg: &OpenSystemConfig, solo: &HashMap<Benchmark, f64>) -> Vec<JobArrival> {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let inter = Exponential::with_mean(cfg.mean_interarrival as f64);
-    let length = Exponential::with_mean(cfg.mean_job_cycles as f64);
-    let mut t = 0u64;
-    let mut out = Vec::with_capacity(cfg.num_jobs);
-    for _ in 0..cfg.num_jobs {
-        t += inter.sample_cycles(&mut rng);
-        let benchmark = JOB_KINDS[rng.gen_range(0..JOB_KINDS.len())];
-        let cycles = length.sample_cycles(&mut rng);
-        let ipc = solo.get(&benchmark).copied().unwrap_or(1.0);
-        let instructions = ((cycles as f64 * ipc) as u64).max(1_000);
-        let phased = cfg.phased_fraction > 0.0 && rng.gen_bool(cfg.phased_fraction.min(1.0));
-        out.push(JobArrival {
-            arrival: t,
-            benchmark,
-            instructions,
-            phased,
-        });
-    }
-    out
+    ArrivalTrace::generate(&cfg.trace_spec(), solo).jobs
 }
 
 /// Measures each benchmark's solo IPC on the given machine (used for the
@@ -255,37 +214,6 @@ pub fn calibrate_benchmarks(smt: usize, cycles: u64, seed: u64) -> HashMap<Bench
     rates.into_iter().map(|r| (r.bench, r.ipc)).collect()
 }
 
-/// The instruction stream of a live job.
-#[allow(clippy::large_enum_variant)] // a handful of live jobs at a time
-enum JobStream {
-    Steady(SyntheticStream),
-    Phased(PhasedStream),
-}
-
-impl JobStream {
-    fn is_finished(&self) -> bool {
-        match self {
-            JobStream::Steady(s) => s.is_finished(),
-            JobStream::Phased(s) => s.is_finished(),
-        }
-    }
-}
-
-impl InstructionSource for JobStream {
-    fn next_instr(&mut self) -> smtsim::trace::Fetch {
-        match self {
-            JobStream::Steady(s) => s.next_instr(),
-            JobStream::Phased(s) => s.next_instr(),
-        }
-    }
-    fn id(&self) -> StreamId {
-        match self {
-            JobStream::Steady(s) => s.id(),
-            JobStream::Phased(s) => s.id(),
-        }
-    }
-}
-
 /// Measures the machine's sustained open-system capacity for this
 /// configuration: runs a saturated batch (every job present from cycle 0)
 /// under the naive scheduler and returns delivered solo-work per cycle —
@@ -311,70 +239,6 @@ pub fn measure_capacity(
     (solo_cycles / res.cycles.max(1) as f64).max(0.1)
 }
 
-/// A live job in the system.
-struct LiveJob {
-    key: usize, // index into the arrival trace
-    stream: JobStream,
-}
-
-impl LiveJob {
-    fn finished(&self) -> bool {
-        self.stream.is_finished()
-    }
-}
-
-/// The scheduler's mode.
-#[allow(clippy::large_enum_variant)] // one Mode per run; size is irrelevant
-enum Mode {
-    /// Rotate over arrival order (the naive control, and SOS when all jobs
-    /// fit on the machine).
-    Rotate,
-    /// SOS sample phase: profiling candidate orders one rotation each.
-    Sampling {
-        candidates: Vec<Vec<usize>>, // circular orders of live-job keys
-        current: usize,
-        slice_in_rotation: usize,
-        collected: Vec<Vec<TimesliceStats>>,
-    },
-    /// SOS symbios phase: running the chosen order until the timer expires
-    /// (or execution drifts from the sampled prediction).
-    Symbios {
-        order: Vec<usize>,
-        until: u64,
-        /// Aggregate IPC the chosen schedule showed in the sample phase.
-        predicted_ipc: f64,
-        /// Consecutive slices whose IPC deviated beyond the drift threshold.
-        drift_streak: u32,
-    },
-}
-
-/// Full scheduler state.
-struct SchedulerState {
-    kind: SchedulerKind,
-    mode: Mode,
-    slice: usize,
-    /// Current symbiosis interval (doubles under backoff).
-    interval: u64,
-    /// The previous symbios pick, for backoff comparison.
-    last_pick: Option<Vec<usize>>,
-    /// Whether the current sample phase was triggered by a timer (a repeat
-    /// prediction then doubles the interval) rather than a mix change.
-    timer_triggered: bool,
-}
-
-impl SchedulerState {
-    fn new(kind: SchedulerKind, interval: u64) -> Self {
-        SchedulerState {
-            kind,
-            mode: Mode::Rotate,
-            slice: 0,
-            interval,
-            last_pick: None,
-            timer_triggered: false,
-        }
-    }
-}
-
 /// Runs the open system with the given scheduler.
 ///
 /// # Panics
@@ -391,16 +255,15 @@ pub fn run_open_system(kind: SchedulerKind, cfg: &OpenSystemConfig) -> OpenSyste
 }
 
 /// Runs the open system on a pre-generated arrival trace (so both schedulers
-/// can share one trace).
+/// can share one trace): replays the trace through an [`OnlineEngine`],
+/// submitting each job when simulated time reaches its arrival stamp and
+/// fast-forwarding across idle gaps.
 pub fn run_open_system_on_trace(
     kind: SchedulerKind,
     cfg: &OpenSystemConfig,
     trace: &[JobArrival],
 ) -> OpenSystemResult {
-    let mut cpu = Processor::new(MachineConfig::alpha21264_like(cfg.smt));
-    if telemetry::is_enabled() {
-        cpu.set_observer(Box::new(TelemetryObserver::new()));
-    }
+    let mut engine = OnlineEngine::new(kind, &cfg.online());
     let _run_span = telemetry::span(
         "opensys",
         "opensys.run",
@@ -409,405 +272,31 @@ pub fn run_open_system_on_trace(
             Attr::num("jobs", trace.len() as f64),
         ],
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x5c4ed);
-    let mut now = 0u64;
     let mut next_arrival = 0usize;
-    let mut live: Vec<LiveJob> = Vec::new();
-    let mut completed = Vec::new();
-    let mut state = SchedulerState::new(kind, cfg.mean_interarrival);
-    let mut population_cycles = 0u128;
-    let mut resamples = 0u64;
-
+    let mut completed = Vec::with_capacity(trace.len());
     while completed.len() < trace.len() {
         // The open system tracks global simulated time itself; keep the
         // telemetry clock in lockstep (also across idle fast-forwards).
-        telemetry::set_clock(now);
+        telemetry::set_clock(engine.now());
         // Admit arrivals.
-        let mut mix_changed = false;
-        while next_arrival < trace.len() && trace[next_arrival].arrival <= now {
-            let a = &trace[next_arrival];
-            telemetry::instant(
-                "opensys",
-                "opensys.arrival",
-                vec![
-                    Attr::num("job", next_arrival as f64),
-                    Attr::text("benchmark", format!("{:?}", a.benchmark)),
-                    Attr::text("phased", if a.phased { "true" } else { "false" }),
-                ],
-            );
-            telemetry::counter_add("opensys.arrivals", 1);
-            let id = StreamId(next_arrival as u32);
-            let job_seed = cfg.seed ^ (next_arrival as u64).wrapping_mul(0x9e37);
-            let stream = if a.phased {
-                // Phase length ~ a handful of timeslices' worth of work, so
-                // personalities shift at the granularity resampling can see.
-                JobStream::Phased(
-                    fp_int_alternator(cfg.timeslice * 8, id, job_seed).with_limit(a.instructions),
-                )
-            } else {
-                JobStream::Steady(
-                    SyntheticStream::new(a.benchmark.profile(), id, job_seed)
-                        .with_limit(a.instructions),
-                )
-            };
-            live.push(LiveJob {
-                key: next_arrival,
-                stream,
-            });
+        while next_arrival < trace.len() && trace[next_arrival].arrival <= engine.now() {
+            engine.submit(trace[next_arrival].clone());
             next_arrival += 1;
-            mix_changed = true;
         }
-        if live.is_empty() {
-            now = trace[next_arrival].arrival;
+        if engine.live_count() == 0 {
+            engine.jump_to(trace[next_arrival].arrival);
             continue;
         }
-        if mix_changed {
-            telemetry::gauge_set("opensys.jobs_in_system", live.len() as f64);
-            enter_after_mix_change(&mut state, cfg, &live, &mut rng, false);
-            if matches!(state.mode, Mode::Sampling { .. }) {
-                resamples += 1;
-                telemetry::instant(
-                    "opensys",
-                    "opensys.resample",
-                    vec![
-                        Attr::text("trigger", "arrival"),
-                        Attr::num("live", live.len() as f64),
-                    ],
-                );
-                telemetry::counter_add("opensys.resamples", 1);
-            }
-        }
-        // Symbios timer (or pending drift trigger)?
-        if let Mode::Symbios { until, .. } = &state.mode {
-            if now >= *until && live.len() > cfg.smt {
-                enter_after_mix_change(&mut state, cfg, &live, &mut rng, true);
-                if matches!(state.mode, Mode::Sampling { .. }) {
-                    resamples += 1;
-                    telemetry::instant(
-                        "opensys",
-                        "opensys.resample",
-                        vec![
-                            Attr::text("trigger", "timer"),
-                            Attr::num("live", live.len() as f64),
-                        ],
-                    );
-                    telemetry::counter_add("opensys.resamples", 1);
-                }
-            }
-        }
-
-        // Run one timeslice.
-        let tuple_keys = current_tuple(&state, cfg, &live);
-        let tuple_positions: Vec<usize> = tuple_keys
-            .iter()
-            .filter_map(|k| live.iter().position(|j| j.key == *k))
-            .collect();
-        let stats = run_tuple(&mut cpu, &mut live, &tuple_positions, cfg.timeslice);
-        population_cycles += (live.len() as u128) * (cfg.timeslice as u128);
-        now += cfg.timeslice;
-        advance_after_slice(&mut state, cfg, &stats, now);
-
-        // Departures.
-        let mut departed = false;
-        live.retain(|j| {
-            if j.finished() {
-                let response = now.saturating_sub(trace[j.key].arrival);
-                telemetry::instant(
-                    "opensys",
-                    "opensys.departure",
-                    vec![
-                        Attr::num("job", j.key as f64),
-                        Attr::num("response_cycles", response as f64),
-                    ],
-                );
-                telemetry::counter_add("opensys.departures", 1);
-                telemetry::histogram_record("opensys.response_cycles", response);
-                completed.push(JobRecord {
-                    arrival: trace[j.key].clone(),
-                    departure: now,
-                });
-                departed = true;
-                false
-            } else {
-                true
-            }
-        });
-        if departed {
-            telemetry::gauge_set("opensys.jobs_in_system", live.len() as f64);
-            if !live.is_empty() {
-                enter_after_mix_change(&mut state, cfg, &live, &mut rng, false);
-                if matches!(state.mode, Mode::Sampling { .. }) {
-                    telemetry::instant(
-                        "opensys",
-                        "opensys.resample",
-                        vec![
-                            Attr::text("trigger", "departure"),
-                            Attr::num("live", live.len() as f64),
-                        ],
-                    );
-                }
-            }
-        }
+        completed.extend(engine.step());
     }
 
     OpenSystemResult {
         scheduler: kind,
         completed,
-        cycles: now,
-        mean_population: population_cycles as f64 / now.max(1) as f64,
-        resamples,
+        cycles: engine.now(),
+        mean_population: engine.mean_population(),
+        resamples: engine.resamples(),
     }
-}
-
-/// Re-plans after an arrival, a departure, or a symbiosis-timer expiry.
-fn enter_after_mix_change(
-    state: &mut SchedulerState,
-    cfg: &OpenSystemConfig,
-    live: &[LiveJob],
-    rng: &mut SmallRng,
-    timer: bool,
-) {
-    state.slice = 0;
-    state.timer_triggered = timer;
-    if !timer {
-        // "When a job arrives or departs ... the duration of the symbiosis
-        // phase reverts to λ."
-        state.interval = cfg.mean_interarrival;
-        state.last_pick = None;
-    }
-    match state.kind {
-        SchedulerKind::Naive => {
-            state.mode = Mode::Rotate;
-        }
-        SchedulerKind::Sos => {
-            let keys: Vec<usize> = live.iter().map(|j| j.key).collect();
-            if keys.len() <= cfg.smt {
-                state.mode = Mode::Rotate;
-                return;
-            }
-            // Draw distinct candidate circular orders.
-            let mut candidates: Vec<Vec<usize>> = Vec::new();
-            let mut seen = std::collections::HashSet::new();
-            let budget = cfg.sample_schedules.max(1);
-            let mut attempts = 0;
-            while candidates.len() < budget && attempts < budget * 30 {
-                attempts += 1;
-                let mut order = keys.clone();
-                order.shuffle(rng);
-                if seen.insert(schedule_of(&order, cfg.smt).canonical_key()) {
-                    candidates.push(order);
-                }
-            }
-            let n = candidates.len();
-            state.mode = Mode::Sampling {
-                candidates,
-                current: 0,
-                slice_in_rotation: 0,
-                collected: vec![Vec::new(); n],
-            };
-        }
-    }
-}
-
-/// The schedule implied by a circular order of keys at SMT level `y`
-/// (swap-all discipline).
-fn schedule_of(order: &[usize], y: usize) -> Schedule {
-    let mut dense: Vec<usize> = order.to_vec();
-    let mut sorted = dense.clone();
-    sorted.sort_unstable();
-    for v in dense.iter_mut() {
-        *v = sorted.binary_search(v).expect("present");
-    }
-    let y = y.min(dense.len()).max(1);
-    Schedule::new(dense, y, y)
-}
-
-/// Window of `y` keys starting at `slice·y` in the circular `order`,
-/// restricted to keys still live.
-fn window(order: &[usize], live: &[LiveJob], y: usize, slice: usize) -> Vec<usize> {
-    let alive: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|k| live.iter().any(|j| j.key == *k))
-        .collect();
-    let n = alive.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let y = y.min(n);
-    let start = (slice * y) % n;
-    (0..y).map(|k| alive[(start + k) % n]).collect()
-}
-
-/// The tuple to run this timeslice (does not advance state).
-fn current_tuple(state: &SchedulerState, cfg: &OpenSystemConfig, live: &[LiveJob]) -> Vec<usize> {
-    let arrival_order: Vec<usize> = live.iter().map(|j| j.key).collect();
-    match &state.mode {
-        Mode::Rotate => window(&arrival_order, live, cfg.smt, state.slice),
-        Mode::Sampling {
-            candidates,
-            current,
-            slice_in_rotation,
-            ..
-        } => window(&candidates[*current], live, cfg.smt, *slice_in_rotation),
-        Mode::Symbios { order, .. } => window(order, live, cfg.smt, state.slice),
-    }
-}
-
-/// Books the finished slice and advances the scheduler state machine.
-fn advance_after_slice(
-    state: &mut SchedulerState,
-    cfg: &OpenSystemConfig,
-    stats: &TimesliceStats,
-    now: u64,
-) {
-    state.slice += 1;
-    // Drift detection (§9 extension): if the running schedule stops behaving
-    // like its sample, force an early resample by expiring the timer.
-    if let (
-        Mode::Symbios {
-            until,
-            predicted_ipc,
-            drift_streak,
-            ..
-        },
-        Some(threshold),
-    ) = (&mut state.mode, cfg.drift_threshold)
-    {
-        if *predicted_ipc > 0.0 {
-            let observed = stats.total_ipc();
-            let deviation = (observed - *predicted_ipc).abs() / *predicted_ipc;
-            if deviation > threshold {
-                *drift_streak += 1;
-                if *drift_streak >= 3 {
-                    *until = now; // resample at the next scheduling point
-                    state.last_pick = None; // do not back off after a drift
-                }
-            } else {
-                *drift_streak = 0;
-            }
-        }
-    }
-    let timer_triggered = state.timer_triggered;
-    let prev_pick = state.last_pick.clone();
-    let interval = state.interval;
-    if let Mode::Sampling {
-        candidates,
-        current,
-        slice_in_rotation,
-        collected,
-    } = &mut state.mode
-    {
-        collected[*current].push(stats.clone());
-        *slice_in_rotation += 1;
-        // One *full* rotation: the schedule's complete tuple set ("the
-        // minimum time required to evaluate the schedule", §5.2). Sampling
-        // fewer windows would leave most of the symbios-phase tuples unseen.
-        let x = candidates[*current].len();
-        let y = cfg.smt.min(x).max(1);
-        let slices_per_rotation = slices_for(x, y);
-        if *slice_in_rotation >= slices_per_rotation {
-            *slice_in_rotation = 0;
-            *current += 1;
-            if *current >= candidates.len() {
-                // Predict and enter symbios.
-                let samples: Vec<ScheduleSample> = candidates
-                    .iter()
-                    .zip(collected.iter())
-                    .filter(|(_, sl)| !sl.is_empty())
-                    .map(|(ord, slices)| condense(ord, cfg.smt, slices))
-                    .collect();
-                let pick = if samples.is_empty() {
-                    0
-                } else {
-                    cfg.predictor.choose(&samples)
-                };
-                let order = candidates.get(pick).cloned().unwrap_or_default();
-                // Exponential backoff: if a timer-triggered resample repeats
-                // the previous prediction, double the symbiosis interval.
-                let new_interval = if timer_triggered && prev_pick.as_deref() == Some(&order[..]) {
-                    let doubled = interval.saturating_mul(2);
-                    telemetry::instant(
-                        "opensys",
-                        "opensys.backoff",
-                        vec![Attr::num("interval", doubled as f64)],
-                    );
-                    telemetry::counter_add("opensys.backoffs", 1);
-                    doubled
-                } else {
-                    cfg.mean_interarrival
-                };
-                let predicted_ipc = samples.get(pick).map(|s| s.ipc).unwrap_or(0.0);
-                state.interval = new_interval;
-                state.last_pick = Some(order.clone());
-                state.slice = 0;
-                state.mode = Mode::Symbios {
-                    order,
-                    until: now + new_interval,
-                    predicted_ipc,
-                    drift_streak: 0,
-                };
-            }
-        }
-    }
-}
-
-/// Timeslices in one full rotation of `x` jobs through windows of `y`
-/// advancing by `y` (the swap-all discipline): `x / gcd(x, y)`.
-fn slices_for(x: usize, y: usize) -> usize {
-    if x <= y || y == 0 {
-        1
-    } else {
-        x / gcd(x, y)
-    }
-}
-
-fn gcd(a: usize, b: usize) -> usize {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-/// Condenses raw sample slices into a `ScheduleSample` for prediction.
-fn condense(order: &[usize], y: usize, slices: &[TimesliceStats]) -> ScheduleSample {
-    let schedule = schedule_of(order, y);
-    let rotation = crate::runner::RotationStats {
-        tuples: slices
-            .iter()
-            .map(|_| crate::schedule::Coschedule::new([0]))
-            .collect(),
-        slices: slices.to_vec(),
-    };
-    let mut s = ScheduleSample::from_rotations(&schedule, &[rotation]);
-    s.notation = format!("order{order:?}");
-    s
-}
-
-/// Runs one tuple of live jobs (by position) for a timeslice.
-fn run_tuple(
-    cpu: &mut Processor,
-    live: &mut [LiveJob],
-    positions: &[usize],
-    cycles: u64,
-) -> TimesliceStats {
-    let mut sorted = positions.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    let mut refs: Vec<&mut dyn InstructionSource> = live
-        .iter_mut()
-        .enumerate()
-        .filter(|(i, _)| sorted.binary_search(i).is_ok())
-        .map(|(_, j)| &mut j.stream as &mut dyn InstructionSource)
-        .collect();
-    if refs.is_empty() {
-        return TimesliceStats {
-            cycles,
-            ..Default::default()
-        };
-    }
-    cpu.run_timeslice(&mut refs, cycles)
 }
 
 #[cfg(test)]
@@ -823,7 +312,7 @@ mod tests {
             calibration_cycles: 10_000,
             num_jobs: 8,
             sample_schedules: 3,
-            predictor: PredictorKind::Score,
+            predictor: crate::predictor::PredictorKind::Score,
             drift_threshold: None,
             phased_fraction: 0.0,
             seed: 77,
@@ -929,5 +418,18 @@ mod tests {
                 "SMT {smt}: offered load {load} exceeds capacity"
             );
         }
+    }
+
+    #[test]
+    fn online_view_mirrors_config() {
+        let cfg = tiny_cfg();
+        let online = cfg.online();
+        assert_eq!(online.smt, cfg.smt);
+        assert_eq!(online.timeslice, cfg.timeslice);
+        assert_eq!(online.base_interval, cfg.mean_interarrival);
+        assert_eq!(online.seed, cfg.seed);
+        let spec = cfg.trace_spec();
+        assert_eq!(spec.num_jobs, cfg.num_jobs);
+        assert_eq!(spec.mean_job_cycles, cfg.mean_job_cycles);
     }
 }

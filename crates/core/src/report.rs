@@ -1,12 +1,56 @@
-//! Aggregate reporting across experiments: the predictor league table.
+//! Aggregate reporting across experiments: the predictor league table and
+//! latency-percentile helpers.
 //!
 //! Given the [`ExperimentReport`]s of several experiments, ranks every
 //! predictor (plus the sampled-WS oracle and the best-possible schedule) by
 //! the mean percent gain of its pick over the random-scheduler expectation.
+//! The percentile helpers serve the open-system and serving paths: response
+//! times in a queueing system are heavy-tailed, so figures and the
+//! `sos-serve` stats verb report p50/p95/p99 alongside the mean.
 
 use crate::predictor::PredictorKind;
 use crate::sos::ExperimentReport;
 use serde::{Deserialize, Serialize};
+
+/// The p50/p95/p99 summary of a latency-like distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// The `p`-th percentile (0–100) of `values` by the nearest-rank method,
+/// ignoring non-finite entries. Returns `NaN` when no finite values remain
+/// or `p` is outside `[0, 100]` — `NaN` serializes as JSON `null`, so
+/// degenerate runs surface as missing data rather than a fabricated number.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if !(0.0..=100.0).contains(&p) {
+        return f64::NAN;
+    }
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.sort_by(f64::total_cmp);
+    // Nearest-rank: the smallest value with at least p% of the mass at or
+    // below it.
+    let rank = ((p / 100.0) * finite.len() as f64).ceil() as usize;
+    finite[rank.saturating_sub(1).min(finite.len() - 1)]
+}
+
+/// The p50/p95/p99 summary of `values` (each via [`percentile`], so the same
+/// NaN/empty-input guards apply to every field).
+pub fn percentiles(values: &[f64]) -> Percentiles {
+    Percentiles {
+        p50: percentile(values, 50.0),
+        p95: percentile(values, 95.0),
+        p99: percentile(values, 99.0),
+    }
+}
 
 /// One row of the league table.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -106,6 +150,56 @@ mod tests {
     use super::*;
     use crate::experiment::ExperimentSpec;
     use crate::sample::ScheduleSample;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 95.0), 95.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let shuffled = vec![4.0, 1.0, 5.0, 2.0, 3.0];
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(percentile(&sorted, p), percentile(&shuffled, p));
+        }
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        assert_eq!(percentile(&[42.0], 50.0), 42.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_guards_empty_and_nonfinite() {
+        assert!(percentile(&[], 50.0).is_nan());
+        assert!(percentile(&[f64::NAN, f64::INFINITY], 50.0).is_nan());
+        // Non-finite entries are ignored, not propagated.
+        assert_eq!(percentile(&[f64::NAN, 7.0], 50.0), 7.0);
+        // Out-of-range p is NaN, not a panic or a clamp.
+        assert!(percentile(&[1.0], -1.0).is_nan());
+        assert!(percentile(&[1.0], 101.0).is_nan());
+    }
+
+    #[test]
+    fn percentiles_summary_and_serialization() {
+        let v: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let p = percentiles(&v);
+        assert_eq!(p.p50, 100.0);
+        assert_eq!(p.p95, 190.0);
+        assert_eq!(p.p99, 198.0);
+        let empty = percentiles(&[]);
+        assert!(empty.p50.is_nan() && empty.p95.is_nan() && empty.p99.is_nan());
+        // NaN fields serialize as JSON null, like the league table's.
+        let json = serde_json::to_string(&empty).unwrap();
+        assert!(json.contains("\"p50\":null"), "{json}");
+    }
 
     /// A fabricated report where candidate 0 is best and every predictor
     /// picked a known index.

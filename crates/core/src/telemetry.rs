@@ -200,6 +200,26 @@ impl Histogram {
         Self::bucket_lower_bound(64)
     }
 
+    /// The p50/p95/p99 summary of the recorded distribution, from
+    /// [`approx_quantile`](Self::approx_quantile) (so each value is the
+    /// lower bound of its log2 bucket — a floor, not an interpolation).
+    /// All fields are `NaN` when the histogram is empty, matching
+    /// [`crate::report::percentiles`] on empty input.
+    pub fn percentile_summary(&self) -> crate::report::Percentiles {
+        if self.count == 0 {
+            return crate::report::Percentiles {
+                p50: f64::NAN,
+                p95: f64::NAN,
+                p99: f64::NAN,
+            };
+        }
+        crate::report::Percentiles {
+            p50: self.approx_quantile(0.50) as f64,
+            p95: self.approx_quantile(0.95) as f64,
+            p99: self.approx_quantile(0.99) as f64,
+        }
+    }
+
     /// Adds another histogram's observations into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -920,6 +940,23 @@ mod tests {
         assert_eq!(h.count, 8);
         assert_eq!(Histogram::bucket_lower_bound(11), 1024);
         assert!(h.approx_quantile(0.0) <= h.approx_quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_percentile_summary() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(100); // bucket lower bound 64
+        }
+        h.record(1 << 20);
+        let p = h.percentile_summary();
+        assert_eq!(p.p50, 64.0);
+        assert_eq!(p.p95, 64.0);
+        // The single outlier is the 100th value: p99 still lands in the
+        // dense bucket, and the summary is monotone.
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        let empty = Histogram::default().percentile_summary();
+        assert!(empty.p50.is_nan() && empty.p95.is_nan() && empty.p99.is_nan());
     }
 
     #[test]
