@@ -12,20 +12,29 @@
 //!
 //! Usage: `sos-loadgen [--addr HOST:PORT] [--jobs N]
 //! [--mean-interarrival CYCLES] [--mean-length CYCLES]
-//! [--phased-fraction F] [--seed S] [--pace CYCLES_PER_MS] [--no-shutdown]`
+//! [--phased-fraction F] [--seed S] [--pace CYCLES_PER_MS] [--no-shutdown]
+//! [--bench-out FILE]`
 //!
 //! Job lengths are submitted in solo *cycles*; the daemon converts them to
 //! instructions with its own calibrated solo IPC. `--pace` maps trace
 //! interarrival gaps to wall-clock sleeps (0 = submit as fast as possible).
 //! A `backpressure` reply is retried every `--retry-ms` milliseconds (the
 //! daemon keeps draining the queue meanwhile); `--retry-ms 0` disables the
-//! retry so overload shows up as a rejected count instead. By default the
-//! daemon is told to `shutdown` after the drain; pass `--no-shutdown` to
-//! leave it running for another client.
+//! retry so overload shows up as a rejected count instead — either way the
+//! retry count and the total wall time spent backing off appear in the
+//! final report, so queueing delay absorbed by the generator is visible.
+//! By default the daemon is told to `shutdown` after the drain; pass
+//! `--no-shutdown` to leave it running for another client.
+//!
+//! With `--bench-out FILE`, one machine-readable `BenchRecord` JSON line
+//! ({throughput, response/slowdown percentiles, SLO attainment, retries})
+//! is appended to `FILE` — the cross-PR perf trajectory for the serving
+//! layer (conventionally `BENCH_serve.json`).
 
-use sos_bench::serve::{Client, Request};
+use sos_bench::serve::{BenchRecord, Client, Request, BENCH_RECORD_VERSION};
 use sos_core::opensys::{ArrivalTrace, ArrivalTraceSpec};
-use std::time::Duration;
+use std::path::PathBuf;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 struct Args {
     addr: String,
@@ -37,6 +46,7 @@ struct Args {
     pace: u64,
     retry_ms: u64,
     shutdown: bool,
+    bench_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -51,6 +61,7 @@ impl Default for Args {
             pace: 0,
             retry_ms: 2,
             shutdown: true,
+            bench_out: None,
         }
     }
 }
@@ -74,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
             "--pace" => args.pace = num(&value("--pace")?, "--pace")?,
             "--retry-ms" => args.retry_ms = num(&value("--retry-ms")?, "--retry-ms")?,
             "--no-shutdown" => args.shutdown = false,
+            "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -117,9 +129,12 @@ fn main() {
         }
     };
 
+    let started = Instant::now();
+    let start_cycles = now_cycles(&mut client);
     let mut accepted = 0usize;
     let mut rejected = 0usize;
     let mut retries = 0usize;
+    let mut retry_wait = Duration::ZERO;
     let mut prev_arrival = 0u64;
     for job in &trace.jobs {
         let gap_cycles = job.arrival.saturating_sub(prev_arrival);
@@ -138,7 +153,9 @@ fn main() {
                     // The daemon keeps simulating while we back off, so a
                     // slot opens as soon as a live job departs.
                     retries += 1;
+                    let backoff = Instant::now();
                     std::thread::sleep(Duration::from_millis(args.retry_ms));
+                    retry_wait += backoff.elapsed();
                 }
                 Ok(resp) => {
                     rejected += 1;
@@ -158,12 +175,16 @@ fn main() {
         }
     }
     println!(
-        "# offered {} jobs (seed {}): {} accepted, {} rejected, {} backpressure retries",
+        "# offered {} jobs (seed {}): {} accepted, {} rejected",
         trace.jobs.len(),
         args.seed,
         accepted,
         rejected,
-        retries
+    );
+    println!(
+        "# backpressure: {} retries, {:.1} ms total retry wait",
+        retries,
+        retry_wait.as_secs_f64() * 1e3
     );
 
     // Drain: blocks until every in-flight job has departed.
@@ -171,6 +192,7 @@ fn main() {
         eprintln!("sos-loadgen: drain failed: {e}");
         std::process::exit(1);
     }
+    let wall_secs = started.elapsed().as_secs_f64();
 
     let stats = match client.request(&Request::verb("stats")) {
         Ok(resp) => match resp.stats {
@@ -203,6 +225,76 @@ fn main() {
         stats.resamples, stats.cache_hits, stats.cache_misses
     );
 
+    if let Some(path) = &args.bench_out {
+        // SLO attainment comes from the metrics verb; a daemon predating it
+        // answers with an error and the record carries NaN instead.
+        let (slo_response, slo_slowdown, end_cycles) =
+            match client.request(&Request::verb("metrics")) {
+                Ok(resp) => match resp.metrics {
+                    Some(m) => (
+                        m.snapshot
+                            .slos
+                            .get("serve.response_cycles")
+                            .map_or(f64::NAN, |s| s.attainment),
+                        m.snapshot
+                            .slos
+                            .get("serve.slowdown_x100")
+                            .map_or(f64::NAN, |s| s.attainment),
+                        m.snapshot.now_cycles,
+                    ),
+                    None => (f64::NAN, f64::NAN, 0),
+                },
+                Err(e) => {
+                    eprintln!("sos-loadgen: metrics failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+        let record = BenchRecord {
+            schema: BENCH_RECORD_VERSION,
+            unix_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            seed: args.seed,
+            offered: trace.jobs.len() as u64,
+            accepted: accepted as u64,
+            rejected: rejected as u64,
+            retries: retries as u64,
+            retry_wait_ms: retry_wait.as_millis() as u64,
+            completed: stats.completed,
+            wall_secs,
+            throughput_jobs_per_sec: if wall_secs > 0.0 {
+                stats.completed as f64 / wall_secs
+            } else {
+                f64::NAN
+            },
+            sim_cycles_per_sec: if wall_secs > 0.0 {
+                end_cycles.saturating_sub(start_cycles) as f64 / wall_secs
+            } else {
+                f64::NAN
+            },
+            mean_response: stats.mean_response,
+            response: stats.response,
+            mean_slowdown: stats.mean_slowdown,
+            slowdown: stats.slowdown,
+            slo_response_attainment: slo_response,
+            slo_slowdown_attainment: slo_slowdown,
+        };
+        match record.append_to(path) {
+            Ok(()) => println!(
+                "# bench record appended to {} ({:.1} jobs/s, SLO response {:.3} / slowdown {:.3})",
+                path.display(),
+                record.throughput_jobs_per_sec,
+                record.slo_response_attainment,
+                record.slo_slowdown_attainment
+            ),
+            Err(e) => {
+                eprintln!("sos-loadgen: bench-out {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
     if args.shutdown {
         match client.request(&Request::verb("shutdown")) {
             Ok(resp) if resp.ok => {}
@@ -213,4 +305,15 @@ fn main() {
             Err(e) => eprintln!("sos-loadgen: shutdown failed: {e}"),
         }
     }
+}
+
+/// The daemon's simulated clock right now (0 when `status` fails — the
+/// record's cycle rate then over-counts rather than crashing the run).
+fn now_cycles(client: &mut Client) -> u64 {
+    client
+        .request(&Request::verb("status"))
+        .ok()
+        .and_then(|r| r.status)
+        .map(|s| s.now_cycles)
+        .unwrap_or(0)
 }

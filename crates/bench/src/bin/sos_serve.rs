@@ -17,30 +17,48 @@
 //!   `<snapshot-dir>/snapshot.json` every `--snapshot-every` completions
 //!   and on shutdown; on restart, completed-job accounting is restored
 //!   exactly and in-flight jobs are re-queued from their arrival records.
-//! * **Latency SLOs** — per-job response time and slowdown feed a
-//!   `sos_core::telemetry::MetricRegistry`; the `stats` verb reports exact
-//!   and histogram-approximated p50/p95/p99.
+//! * **Live metrics** — every request, error, departure, and engine
+//!   timeslice feeds a `sos_core::metrics::MetricsHub`; the `metrics` verb
+//!   returns the versioned snapshot plus a Prometheus text exposition, and
+//!   the `stats` verb reports exact and histogram-approximated p50/p95/p99
+//!   along with per-class protocol error counts.
+//! * **Latency SLOs** — per-job response time and slowdown are tracked
+//!   against `--slo-response` / `--slo-slowdown` at `--slo-objective`,
+//!   with attainment and error-budget burn rate in the `metrics` snapshot.
+//! * **Request-scoped tracing** — with `--trace FILE`, every job's life
+//!   (admit → queue wait → schedule decision → timeslices → complete) is
+//!   recorded as Perfetto-compatible spans and written as a Chrome trace
+//!   at shutdown.
 //!
 //! Usage: `sos-serve [--port P] [--policy sos|naive] [--smt N]
 //! [--queue-cap N] [--timeslice C] [--snapshot-dir DIR]
-//! [--snapshot-every N] [--seed S] [--metrics FILE]`
+//! [--snapshot-every N] [--seed S] [--metrics FILE] [--trace FILE]
+//! [--slo-response CYCLES] [--slo-slowdown X] [--slo-objective F]
+//! [--metrics-window CYCLES]`
 //!
 //! The daemon prints `sos-serve listening on ADDR` once ready (with
 //! `--port 0` the OS picks the port; parse it from this line).
 
-use sos_bench::serve::{CompletedJob, Request, Response, Snapshot, StatsReply, StatusReply};
+use sos_bench::serve::{
+    CompletedJob, MetricsReply, Request, Response, Snapshot, StatsReply, StatusReply,
+};
+use sos_core::metrics::{Counter, EngineMetrics, Gauge, MetricsHub};
 use sos_core::online::{OnlineConfig, OnlineEngine, SchedulerKind};
 use sos_core::opensys::{calibrate_benchmarks, JobArrival, JOB_KINDS};
 use sos_core::report::{percentiles, Percentiles};
-use sos_core::telemetry::{self, MetricKind, MetricRegistry};
+use sos_core::telemetry;
 use sos_core::PredictorKind;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use workloads::spec::Benchmark;
+
+/// The protocol verbs with per-verb request counters and latency series.
+const VERBS: [&str; 6] = ["submit", "status", "stats", "metrics", "drain", "shutdown"];
 
 struct Args {
     port: u16,
@@ -55,6 +73,11 @@ struct Args {
     snapshot_dir: PathBuf,
     snapshot_every: u64,
     metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    slo_response: u64,
+    slo_slowdown: f64,
+    slo_objective: f64,
+    metrics_window: u64,
 }
 
 impl Default for Args {
@@ -72,6 +95,11 @@ impl Default for Args {
             snapshot_dir: PathBuf::from("results/serve"),
             snapshot_every: 16,
             metrics: None,
+            trace: None,
+            slo_response: 2_000_000,
+            slo_slowdown: 8.0,
+            slo_objective: 0.95,
+            metrics_window: 1_000_000,
         }
     }
 }
@@ -107,11 +135,30 @@ fn parse_args() -> Result<Args, String> {
                 args.snapshot_every = num(&value("--snapshot-every")?, "--snapshot-every")?
             }
             "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--slo-response" => {
+                args.slo_response = num(&value("--slo-response")?, "--slo-response")?
+            }
+            "--slo-slowdown" => {
+                args.slo_slowdown = num(&value("--slo-slowdown")?, "--slo-slowdown")?
+            }
+            "--slo-objective" => {
+                args.slo_objective = num(&value("--slo-objective")?, "--slo-objective")?
+            }
+            "--metrics-window" => {
+                args.metrics_window = num(&value("--metrics-window")?, "--metrics-window")?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if args.smt == 0 || args.timeslice == 0 || args.queue_cap == 0 {
         return Err("--smt, --timeslice, and --queue-cap must be positive".into());
+    }
+    if !(args.slo_objective > 0.0 && args.slo_objective <= 1.0) {
+        return Err("--slo-objective must be in (0, 1]".into());
+    }
+    if !(args.slo_slowdown > 0.0) || args.slo_response == 0 || args.metrics_window == 0 {
+        return Err("--slo-response, --slo-slowdown, and --metrics-window must be positive".into());
     }
     Ok(args)
 }
@@ -126,11 +173,64 @@ struct Msg {
     reply: mpsc::Sender<Response>,
 }
 
+/// Counter/gauge handles for the serve loop, resolved once at startup so
+/// the per-request and per-departure cost is a relaxed atomic write.
+struct ServeMetrics {
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    snapshot_age: Arc<Gauge>,
+    snapshot_write_us: Arc<Gauge>,
+    cache_hits: Arc<Gauge>,
+    cache_misses: Arc<Gauge>,
+    err_unparsable: Arc<Counter>,
+    err_unknown_cmd: Arc<Counter>,
+    err_bad_submit: Arc<Counter>,
+    err_backpressure: Arc<Counter>,
+    err_draining: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn register(hub: &MetricsHub) -> Self {
+        ServeMetrics {
+            submitted: hub.counter("serve.submitted"),
+            completed: hub.counter("serve.completed"),
+            rejected: hub.counter("serve.rejected"),
+            queue_depth: hub.gauge("serve.queue_depth"),
+            snapshot_age: hub.gauge("serve.snapshot_age_cycles"),
+            snapshot_write_us: hub.gauge("serve.snapshot_write_us"),
+            cache_hits: hub.gauge("serve.cache_hits"),
+            cache_misses: hub.gauge("serve.cache_misses"),
+            err_unparsable: hub.counter("serve.errors.unparsable"),
+            err_unknown_cmd: hub.counter("serve.errors.unknown_cmd"),
+            err_bad_submit: hub.counter("serve.errors.bad_submit"),
+            err_backpressure: hub.counter("serve.errors.backpressure"),
+            err_draining: hub.counter("serve.errors.draining"),
+        }
+    }
+
+    /// The error counters by wire-visible class name, for the `stats` verb.
+    fn error_classes(&self) -> BTreeMap<String, u64> {
+        [
+            ("unparsable", &self.err_unparsable),
+            ("unknown_cmd", &self.err_unknown_cmd),
+            ("bad_submit", &self.err_bad_submit),
+            ("backpressure", &self.err_backpressure),
+            ("draining", &self.err_draining),
+        ]
+        .into_iter()
+        .map(|(k, c)| (k.to_string(), c.get()))
+        .collect()
+    }
+}
+
 /// The scheduler thread's full state.
 struct Daemon {
     engine: OnlineEngine,
     solo: HashMap<Benchmark, f64>,
-    registry: MetricRegistry,
+    hub: Arc<MetricsHub>,
+    sm: ServeMetrics,
     queue_cap: usize,
     draining: bool,
     shutdown: bool,
@@ -145,7 +245,9 @@ struct Daemon {
     snapshot_dir: PathBuf,
     snapshot_every: u64,
     since_snapshot: u64,
+    last_snapshot_cycles: u64,
     metrics: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 impl Daemon {
@@ -158,40 +260,63 @@ impl Daemon {
     }
 
     fn handle(&mut self, msg: Msg) {
+        let start = Instant::now();
+        let verb = VERBS
+            .iter()
+            .copied()
+            .find(|v| *v == msg.req.cmd)
+            .unwrap_or("unknown");
+        self.hub.counter(&format!("serve.requests.{verb}")).inc();
         let reply = match msg.req.cmd.as_str() {
-            "submit" => self.handle_submit(&msg.req),
-            "status" => self.handle_status(),
-            "stats" => self.handle_stats(),
+            "submit" => Some(self.handle_submit(&msg.req)),
+            "status" => Some(self.handle_status()),
+            "stats" => Some(self.handle_stats()),
+            "metrics" => Some(self.handle_metrics()),
             "drain" | "shutdown" => {
                 self.draining = true;
                 if msg.req.cmd == "shutdown" {
                     self.shutdown = true;
                 }
                 if self.engine.live_count() == 0 {
-                    Response::ok()
+                    Some(Response::ok())
                 } else {
                     // Deferred: answered when the last in-flight job departs.
-                    self.drain_waiters.push(msg.reply);
-                    return;
+                    self.drain_waiters.push(msg.reply.clone());
+                    None
                 }
             }
-            other => Response::err(format!(
-                "unknown cmd {other:?} (submit|status|stats|drain|shutdown)"
-            )),
+            other => {
+                self.sm.err_unknown_cmd.inc();
+                Some(Response::err(format!(
+                    "unknown cmd {other:?} (submit|status|stats|metrics|drain|shutdown)"
+                )))
+            }
         };
-        let _ = msg.reply.send(reply);
+        if verb != "unknown" {
+            self.hub.record(
+                &format!("serve.request_us.{verb}"),
+                self.engine.now(),
+                start.elapsed().as_micros() as u64,
+            );
+        }
+        if let Some(reply) = reply {
+            let _ = msg.reply.send(reply);
+        }
     }
 
     fn handle_submit(&mut self, req: &Request) -> Response {
         if self.draining {
+            self.sm.err_draining.inc();
             return Response::err("draining");
         }
         if self.engine.live_count() >= self.queue_cap {
             self.rejected += 1;
-            self.registry.counter_add("serve.rejected", 1);
+            self.sm.rejected.inc();
+            self.sm.err_backpressure.inc();
             return Response::err("backpressure");
         }
         let Some(name) = req.bench.as_deref() else {
+            self.sm.err_bad_submit.inc();
             return Response::err("submit requires a bench field");
         };
         let Some(benchmark) = JOB_KINDS
@@ -199,15 +324,20 @@ impl Daemon {
             .copied()
             .find(|b| b.name().eq_ignore_ascii_case(name))
         else {
+            self.sm.err_bad_submit.inc();
             let known: Vec<&str> = JOB_KINDS.iter().map(|b| b.name()).collect();
             return Response::err(format!("unknown bench {name:?} (one of {known:?})"));
         };
         let instructions = match (req.instructions, req.cycles) {
             (Some(i), _) => i,
             (None, Some(c)) => ((c as f64 * self.solo_ipc(benchmark)) as u64).max(1_000),
-            (None, None) => return Response::err("submit requires cycles or instructions"),
+            (None, None) => {
+                self.sm.err_bad_submit.inc();
+                return Response::err("submit requires cycles or instructions");
+            }
         };
         if instructions == 0 {
+            self.sm.err_bad_submit.inc();
             return Response::err("job length must be positive");
         }
         let arrival = JobArrival {
@@ -217,9 +347,8 @@ impl Daemon {
             phased: req.phased.unwrap_or(false),
         };
         let key = self.engine.submit(arrival);
-        self.registry.counter_add("serve.submitted", 1);
-        self.registry
-            .gauge_set("serve.queue_depth", self.engine.live_count() as f64);
+        self.sm.submitted.inc();
+        self.sm.queue_depth.set(self.engine.live_count() as f64);
         let mut r = Response::ok();
         r.id = Some(self.submitted_base + key as u64);
         r
@@ -253,12 +382,8 @@ impl Daemon {
             }
         };
         let response_approx = self
-            .registry
-            .snapshot()
-            .into_iter()
-            .find(|m| m.name == "serve.response_cycles" && m.kind == MetricKind::Histogram)
-            .and_then(|m| m.histogram)
-            .map(|h| h.percentile_summary())
+            .hub
+            .with_histogram("serve.response_cycles", |h| h.merged().percentile_summary())
             .unwrap_or(Percentiles {
                 p50: f64::NAN,
                 p95: f64::NAN,
@@ -276,14 +401,42 @@ impl Daemon {
             resamples: self.engine.resamples(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            errors: Some(self.sm.error_classes()),
         });
         r
     }
 
-    /// Books a batch of departures: SLO accounting, registry metrics,
-    /// periodic snapshot, drain notifications.
+    /// Answers the `metrics` verb: refresh the point-in-time gauges, then
+    /// snapshot the hub as versioned JSON plus a Prometheus exposition.
+    fn handle_metrics(&mut self) -> Response {
+        self.refresh_gauges();
+        let snapshot = self.hub.snapshot(self.engine.now());
+        let prometheus = snapshot.prometheus_text();
+        let mut r = Response::ok();
+        r.metrics = Some(Box::new(MetricsReply {
+            snapshot,
+            prometheus,
+        }));
+        r
+    }
+
+    /// Updates gauges that are sampled (not event-driven): queue depth,
+    /// snapshot age, evaluation-cache hit/miss totals.
+    fn refresh_gauges(&self) {
+        self.sm.queue_depth.set(self.engine.live_count() as f64);
+        self.sm
+            .snapshot_age
+            .set(self.engine.now().saturating_sub(self.last_snapshot_cycles) as f64);
+        let cache = sos_core::cache::stats();
+        self.sm.cache_hits.set(cache.hits as f64);
+        self.sm.cache_misses.set(cache.misses as f64);
+    }
+
+    /// Books a batch of departures: SLO accounting, hub metrics, periodic
+    /// snapshot, drain notifications.
     fn after_step(&mut self, departed: Vec<sos_core::online::JobRecord>) {
         let n = departed.len() as u64;
+        let now = self.engine.now();
         for rec in departed {
             let response = rec.response();
             let service = rec.arrival.instructions as f64 / self.solo_ipc(rec.arrival.benchmark);
@@ -292,12 +445,13 @@ impl Daemon {
             } else {
                 f64::NAN
             };
-            self.registry.counter_add("serve.completed", 1);
-            self.registry
-                .histogram_record("serve.response_cycles", response);
+            self.sm.completed.inc();
+            self.hub.record("serve.response_cycles", now, response);
+            self.hub.observe_slo("serve.response_cycles", response);
             if slowdown.is_finite() {
-                self.registry
-                    .histogram_record("serve.slowdown_x100", (slowdown * 100.0) as u64);
+                let x100 = (slowdown * 100.0) as u64;
+                self.hub.record("serve.slowdown_x100", now, x100);
+                self.hub.observe_slo("serve.slowdown_x100", x100);
             }
             self.completed.push(CompletedJob {
                 arrival: rec.arrival.arrival,
@@ -308,8 +462,7 @@ impl Daemon {
         if n == 0 {
             return;
         }
-        self.registry
-            .gauge_set("serve.queue_depth", self.engine.live_count() as f64);
+        self.sm.queue_depth.set(self.engine.live_count() as f64);
         self.since_snapshot += n;
         if self.since_snapshot >= self.snapshot_every {
             self.write_snapshot();
@@ -323,6 +476,7 @@ impl Daemon {
 
     fn write_snapshot(&mut self) {
         self.since_snapshot = 0;
+        let started = Instant::now();
         let snap = Snapshot {
             version: sos_bench::serve::SNAPSHOT_VERSION,
             policy: self.policy().to_string(),
@@ -339,30 +493,45 @@ impl Daemon {
                 "sos-serve: snapshot to {} failed: {e} (continuing without persistence)",
                 self.snapshot_dir.display()
             );
+        } else {
+            self.last_snapshot_cycles = self.engine.now();
+            self.sm.snapshot_age.set(0.0);
+            self.sm
+                .snapshot_write_us
+                .set(started.elapsed().as_micros() as f64);
         }
     }
 
-    /// Appends drained telemetry (events + a metrics snapshot, including a
-    /// copy of the serve registry) to the `--metrics` file, if configured.
-    fn export_metrics(&mut self) {
-        let Some(path) = self.metrics.clone() else {
+    /// Writes end-of-life telemetry: the Chrome trace of request spans to
+    /// `--trace`, and drained events plus a hub metrics snapshot (in the
+    /// PR-1 registry line format) appended to `--metrics`.
+    fn export_telemetry(&mut self) {
+        if self.metrics.is_none() && self.trace.is_none() {
             return;
-        };
+        }
         let snap = telemetry::global().drain();
-        let mut out = telemetry::events_to_jsonl(&snap.events);
-        let mut metrics = snap.metrics;
-        metrics.extend(self.registry.snapshot());
-        out.push_str(&telemetry::metrics_to_jsonl(&metrics));
-        let res = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .and_then(|mut f| f.write_all(out.as_bytes()));
-        if let Err(e) = res {
-            eprintln!(
-                "sos-serve: metrics export to {} failed: {e}",
-                path.display()
-            );
+        if let Some(path) = self.trace.clone() {
+            if let Err(e) = std::fs::write(&path, snap.chrome_trace_json()) {
+                eprintln!("sos-serve: trace export to {} failed: {e}", path.display());
+            }
+        }
+        if let Some(path) = self.metrics.clone() {
+            let mut out = telemetry::events_to_jsonl(&snap.events);
+            let mut metrics = snap.metrics;
+            self.refresh_gauges();
+            metrics.extend(self.hub.snapshot(self.engine.now()).to_registry_metrics());
+            out.push_str(&telemetry::metrics_to_jsonl(&metrics));
+            let res = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(out.as_bytes()));
+            if let Err(e) = res {
+                eprintln!(
+                    "sos-serve: metrics export to {} failed: {e}",
+                    path.display()
+                );
+            }
         }
     }
 }
@@ -375,7 +544,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if args.metrics.is_some() {
+    if args.metrics.is_some() || args.trace.is_some() {
         telemetry::enable();
     }
     sos_bench::init_cache();
@@ -385,6 +554,24 @@ fn main() {
         args.smt
     );
     let solo = calibrate_benchmarks(args.smt, args.calibration_cycles, args.seed);
+
+    let hub = Arc::new(MetricsHub::new());
+    for verb in VERBS {
+        hub.register_histogram(&format!("serve.request_us.{verb}"), args.metrics_window, 8);
+    }
+    hub.register_histogram("serve.response_cycles", args.metrics_window, 8);
+    hub.register_histogram("serve.slowdown_x100", args.metrics_window, 8);
+    hub.register_slo(
+        "serve.response_cycles",
+        args.slo_response,
+        args.slo_objective,
+    );
+    hub.register_slo(
+        "serve.slowdown_x100",
+        (args.slo_slowdown * 100.0).round() as u64,
+        args.slo_objective,
+    );
+    let sm = ServeMetrics::register(&hub);
 
     let cfg = OnlineConfig {
         smt: args.smt,
@@ -396,6 +583,10 @@ fn main() {
         seed: args.seed,
     };
     let mut engine = OnlineEngine::new(args.policy, &cfg);
+    engine.attach_metrics(EngineMetrics::register(&hub));
+    if args.trace.is_some() {
+        engine.set_job_spans(true);
+    }
 
     // Restore the latest snapshot, if one matches this configuration.
     let mut daemon_completed = Vec::new();
@@ -427,10 +618,12 @@ fn main() {
         }
     }
 
+    let err_unparsable = sm.err_unparsable.clone();
     let mut daemon = Daemon {
         engine,
         solo,
-        registry: MetricRegistry::new(),
+        hub,
+        sm,
         queue_cap: args.queue_cap,
         draining: false,
         shutdown: false,
@@ -442,7 +635,9 @@ fn main() {
         snapshot_dir: args.snapshot_dir.clone(),
         snapshot_every: args.snapshot_every.max(1),
         since_snapshot: 0,
+        last_snapshot_cycles: 0,
         metrics: args.metrics.clone(),
+        trace: args.trace.clone(),
     };
 
     let listener = match TcpListener::bind(("127.0.0.1", args.port)) {
@@ -462,7 +657,8 @@ fn main() {
             match conn {
                 Ok(stream) => {
                     let tx = tx.clone();
-                    std::thread::spawn(move || serve_connection(stream, tx));
+                    let unparsable = err_unparsable.clone();
+                    std::thread::spawn(move || serve_connection(stream, tx, unparsable));
                 }
                 Err(e) => eprintln!("sos-serve: accept failed: {e}"),
             }
@@ -495,7 +691,7 @@ fn main() {
     }
 
     daemon.write_snapshot();
-    daemon.export_metrics();
+    daemon.export_telemetry();
     sos_bench::print_cache_stats();
     eprintln!(
         "# sos-serve: shutdown after {} completed jobs at cycle {}",
@@ -510,8 +706,8 @@ fn main() {
 
 /// Reads JSON-line requests off one connection, routing well-formed ones to
 /// the scheduler thread and answering malformed ones directly with a
-/// diagnostic error reply.
-fn serve_connection(stream: TcpStream, tx: mpsc::Sender<Msg>) {
+/// diagnostic error reply (counted under `serve.errors.unparsable`).
+fn serve_connection(stream: TcpStream, tx: mpsc::Sender<Msg>, unparsable: Arc<Counter>) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -533,7 +729,10 @@ fn serve_connection(stream: TcpStream, tx: mpsc::Sender<Msg>) {
             continue;
         }
         let response = match serde_json::from_str::<Request>(&line) {
-            Err(e) => Response::err(format!("unparsable request: {e}")),
+            Err(e) => {
+                unparsable.inc();
+                Response::err(format!("unparsable request: {e}"))
+            }
             Ok(req) => {
                 let (rtx, rrx) = mpsc::channel();
                 if tx.send(Msg { req, reply: rtx }).is_err() {

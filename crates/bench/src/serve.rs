@@ -11,7 +11,11 @@
 //! * `status` — queue depth, counters, simulated clock.
 //! * `stats` — per-job latency summary: mean/p50/p95/p99 response time and
 //!   slowdown, exact (from completed-job records) and approximate (from the
-//!   `sos_core::telemetry` log2-bucket histograms).
+//!   live log2-bucket histograms), plus per-class protocol error counts.
+//! * `metrics` — the live observability surface: a versioned
+//!   `sos_core::metrics::MetricsSnapshot` (counters, gauges, windowed
+//!   histograms with p50/p95/p99/p999, SLO attainment and burn rate) plus a
+//!   Prometheus-style text exposition. Polled by `sos-top`.
 //! * `drain` — stop admitting; the reply is deferred until every in-flight
 //!   job has completed.
 //! * `shutdown` — drain, snapshot, reply, and exit 0.
@@ -27,8 +31,10 @@
 //! reproduced, not lost — only partial progress is).
 
 use serde::{Deserialize, Serialize};
+use sos_core::metrics::MetricsSnapshot;
 use sos_core::opensys::JobArrival;
 use sos_core::report::Percentiles;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
@@ -40,7 +46,8 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// One request line.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
-    /// The verb: `submit`, `status`, `stats`, `drain`, or `shutdown`.
+    /// The verb: `submit`, `status`, `stats`, `metrics`, `drain`, or
+    /// `shutdown`.
     pub cmd: String,
     /// Benchmark name for `submit` (see `workloads::spec::Benchmark::name`).
     pub bench: Option<String>,
@@ -124,6 +131,19 @@ pub struct StatsReply {
     pub cache_hits: u64,
     /// Evaluation-cache misses.
     pub cache_misses: u64,
+    /// Protocol errors by class (`unparsable`, `unknown_cmd`, `bad_submit`,
+    /// `backpressure`, `draining`). Absent in replies from older daemons.
+    pub errors: Option<BTreeMap<String, u64>>,
+}
+
+/// Payload of a `metrics` reply.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MetricsReply {
+    /// Live metrics as a versioned document (see
+    /// `sos_core::metrics::METRICS_VERSION`).
+    pub snapshot: MetricsSnapshot,
+    /// The same snapshot rendered as Prometheus text exposition.
+    pub prometheus: String,
 }
 
 /// One reply line.
@@ -140,6 +160,8 @@ pub struct Response {
     pub status: Option<StatusReply>,
     /// Payload of a `stats` reply.
     pub stats: Option<StatsReply>,
+    /// Payload of a `metrics` reply.
+    pub metrics: Option<Box<MetricsReply>>,
 }
 
 impl Response {
@@ -151,6 +173,7 @@ impl Response {
             id: None,
             status: None,
             stats: None,
+            metrics: None,
         }
     }
 
@@ -162,6 +185,7 @@ impl Response {
             id: None,
             status: None,
             stats: None,
+            metrics: None,
         }
     }
 }
@@ -229,6 +253,68 @@ impl Snapshot {
             return None;
         }
         Some(snap)
+    }
+}
+
+/// Current [`BenchRecord`] schema version.
+pub const BENCH_RECORD_VERSION: u32 = 1;
+
+/// One perf-trajectory record, appended as a JSON line to
+/// `BENCH_serve.json` by `sos-loadgen --bench-out` so serving-layer
+/// throughput and tail latency are comparable across PRs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Schema version ([`BENCH_RECORD_VERSION`]).
+    pub schema: u32,
+    /// Wall-clock record time (seconds since the Unix epoch).
+    pub unix_secs: u64,
+    /// Load-generator trace seed.
+    pub seed: u64,
+    /// Jobs in the offered trace.
+    pub offered: u64,
+    /// Jobs the daemon admitted.
+    pub accepted: u64,
+    /// Jobs finally rejected.
+    pub rejected: u64,
+    /// Backpressure retries before admission.
+    pub retries: u64,
+    /// Total wall time spent sleeping between backpressure retries, ms.
+    pub retry_wait_ms: u64,
+    /// Jobs completed by drain time (includes restored completions).
+    pub completed: u64,
+    /// Wall time from first submission to drained, seconds.
+    pub wall_secs: f64,
+    /// Completions per wall-clock second.
+    pub throughput_jobs_per_sec: f64,
+    /// Simulated cycles per wall-clock second over the run.
+    pub sim_cycles_per_sec: f64,
+    /// Mean response time in simulated cycles.
+    pub mean_response: f64,
+    /// Exact response-time percentiles in simulated cycles.
+    pub response: Percentiles,
+    /// Mean slowdown.
+    pub mean_slowdown: f64,
+    /// Exact slowdown percentiles.
+    pub slowdown: Percentiles,
+    /// `serve.response_cycles` SLO attainment at drain (NaN when the daemon
+    /// predates the `metrics` verb).
+    pub slo_response_attainment: f64,
+    /// `serve.slowdown_x100` SLO attainment at drain (NaN when unavailable).
+    pub slo_slowdown_attainment: f64,
+}
+
+impl BenchRecord {
+    /// Appends the record as one JSON line to `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")
     }
 }
 

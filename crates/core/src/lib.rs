@@ -25,6 +25,10 @@
 //! * [`cache`] — content-addressed memoization of deterministic evaluation
 //!   results (calibrations, per-schedule sample/symbios measurements), with
 //!   an optional on-disk JSONL store.
+//! * [`metrics`] — live-service metrics: lock-cheap counters/gauges,
+//!   sliding-window histograms with exact quantiles, SLO trackers, and a
+//!   versioned snapshot with Prometheus-style exposition (what `sos-serve`'s
+//!   `metrics` verb and `sos-top` speak).
 //! * [`par`] — order-preserving parallel map used to evaluate independent
 //!   candidates and experiments concurrently.
 //! * [`report`] — aggregate reporting (the predictor league table).
@@ -61,6 +65,7 @@ pub mod error;
 pub mod experiment;
 pub mod hier;
 pub mod job;
+pub mod metrics;
 pub mod naive;
 pub mod online;
 pub mod opensys;

@@ -17,6 +17,7 @@
 //! RNG draws for candidate schedules) is byte-identical across runs.
 
 use crate::arrivals::JobArrival;
+use crate::metrics::EngineMetrics;
 use crate::predictor::PredictorKind;
 use crate::sample::ScheduleSample;
 use crate::schedule::Schedule;
@@ -142,6 +143,9 @@ struct LiveJob {
     key: usize, // submission index, stable for the engine's lifetime
     arrival: JobArrival,
     stream: JobStream,
+    /// Whether the job has been coscheduled at least once (closes its
+    /// queue-wait trace span on the first slice it runs).
+    scheduled_once: bool,
 }
 
 impl LiveJob {
@@ -220,7 +224,16 @@ pub struct OnlineEngine {
     completed: u64,
     population_cycles: u128,
     resamples: u64,
+    timeslices: u64,
     pending_mix_change: bool,
+    /// Live-metrics handles, attached by a serving layer (`None` costs one
+    /// branch per touch point and keeps batch runs byte-identical).
+    metrics: Option<EngineMetrics>,
+    /// Whether to emit per-job hierarchical trace spans (admit → queue wait
+    /// → schedule decision → timeslices → complete) into the telemetry
+    /// event stream. Off by default: job spans are high-volume and only a
+    /// tracing service wants them.
+    job_spans: bool,
 }
 
 impl OnlineEngine {
@@ -248,8 +261,38 @@ impl OnlineEngine {
             completed: 0,
             population_cycles: 0,
             resamples: 0,
+            timeslices: 0,
             pending_mix_change: false,
+            metrics: None,
+            job_spans: false,
         }
+    }
+
+    /// Attaches live-metrics handles (see [`crate::metrics::EngineMetrics`]).
+    /// The engine updates them inline as it schedules; without an attach the
+    /// instrumentation costs a single `Option` check.
+    pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
+        metrics.queue_depth.set(self.live.len() as f64);
+        self.metrics = Some(metrics);
+    }
+
+    /// Enables per-job hierarchical trace spans on the telemetry event
+    /// stream (they also require [`crate::telemetry::enable`]). Each job
+    /// gets its own `job/<id>` track: a `job.lifetime` span wrapping
+    /// `job.queue_wait`, a `job.schedule_decision` instant, one
+    /// `job.timeslice` span per slice it runs, and a `job.complete` instant.
+    pub fn set_job_spans(&mut self, on: bool) {
+        self.job_spans = on;
+    }
+
+    /// Whether per-job trace spans are enabled.
+    pub fn job_spans(&self) -> bool {
+        self.job_spans
+    }
+
+    /// Timeslices simulated over the engine's lifetime.
+    pub fn timeslices(&self) -> u64 {
+        self.timeslices
     }
 
     /// Which scheduler drives this engine.
@@ -339,11 +382,30 @@ impl OnlineEngine {
                     .with_limit(arrival.instructions),
             )
         };
+        if self.job_spans && telemetry::is_enabled() {
+            telemetry::set_clock(self.now);
+            let track = job_track(key);
+            telemetry::span_start(
+                &track,
+                "job.lifetime",
+                vec![
+                    Attr::text("benchmark", format!("{:?}", arrival.benchmark)),
+                    Attr::num("instructions", arrival.instructions as f64),
+                    Attr::text("phased", if arrival.phased { "true" } else { "false" }),
+                ],
+            );
+            telemetry::instant(&track, "job.admit", vec![Attr::num("key", key as f64)]);
+            telemetry::span_start(&track, "job.queue_wait", vec![]);
+        }
         self.live.push(LiveJob {
             key,
             arrival,
             stream,
+            scheduled_once: false,
         });
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(self.live.len() as f64);
+        }
         self.pending_mix_change = true;
         key
     }
@@ -365,6 +427,9 @@ impl OnlineEngine {
             self.replan(false);
             if matches!(self.state.mode, Mode::Sampling { .. }) {
                 self.resamples += 1;
+                if let Some(m) = &self.metrics {
+                    m.resamples.inc();
+                }
                 telemetry::instant(
                     "opensys",
                     "opensys.resample",
@@ -382,6 +447,9 @@ impl OnlineEngine {
                 self.replan(true);
                 if matches!(self.state.mode, Mode::Sampling { .. }) {
                     self.resamples += 1;
+                    if let Some(m) = &self.metrics {
+                        m.resamples.inc();
+                    }
                     telemetry::instant(
                         "opensys",
                         "opensys.resample",
@@ -401,6 +469,30 @@ impl OnlineEngine {
             .iter()
             .filter_map(|k| self.live.iter().position(|j| j.key == *k))
             .collect();
+        let mode = mode_name(&self.state.mode);
+        let tracing = self.job_spans && telemetry::is_enabled();
+        if tracing {
+            for &pos in &tuple_positions {
+                let job = &mut self.live[pos];
+                let track = job_track(job.key);
+                if !job.scheduled_once {
+                    job.scheduled_once = true;
+                    telemetry::span_end(&track, "job.queue_wait");
+                    telemetry::instant(
+                        &track,
+                        "job.schedule_decision",
+                        vec![
+                            Attr::text("mode", mode),
+                            Attr::num(
+                                "wait_cycles",
+                                self.now.saturating_sub(job.arrival.arrival) as f64,
+                            ),
+                        ],
+                    );
+                }
+                telemetry::span_start(&track, "job.timeslice", vec![Attr::text("mode", mode)]);
+            }
+        }
         let stats = run_tuple(
             &mut self.cpu,
             &mut self.live,
@@ -409,7 +501,29 @@ impl OnlineEngine {
         );
         self.population_cycles += (self.live.len() as u128) * (self.cfg.timeslice as u128);
         self.now += self.cfg.timeslice;
-        advance_after_slice(&mut self.state, &self.cfg, &stats, self.now);
+        self.timeslices += 1;
+        if tracing {
+            telemetry::set_clock(self.now);
+            for &pos in &tuple_positions {
+                telemetry::span_end(&job_track(self.live[pos].key), "job.timeslice");
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.timeslices.inc();
+            m.running.set(tuple_positions.len() as f64);
+            match self.state.mode {
+                Mode::Rotate => m.rotate_slices.inc(),
+                Mode::Sampling { .. } => m.sampling_slices.inc(),
+                Mode::Symbios { .. } => m.symbios_slices.inc(),
+            }
+        }
+        advance_after_slice(
+            &mut self.state,
+            &self.cfg,
+            &stats,
+            self.now,
+            self.metrics.as_ref(),
+        );
 
         // Departures.
         let now = self.now;
@@ -427,6 +541,15 @@ impl OnlineEngine {
                 );
                 telemetry::counter_add("opensys.departures", 1);
                 telemetry::histogram_record("opensys.response_cycles", response);
+                if tracing {
+                    let track = job_track(j.key);
+                    telemetry::instant(
+                        &track,
+                        "job.complete",
+                        vec![Attr::num("response_cycles", response as f64)],
+                    );
+                    telemetry::span_end(&track, "job.lifetime");
+                }
                 departed.push(JobRecord {
                     arrival: j.arrival.clone(),
                     departure: now,
@@ -438,6 +561,9 @@ impl OnlineEngine {
         });
         if !departed.is_empty() {
             self.completed += departed.len() as u64;
+            if let Some(m) = &self.metrics {
+                m.queue_depth.set(self.live.len() as f64);
+            }
             telemetry::gauge_set("opensys.jobs_in_system", self.live.len() as f64);
             if !self.live.is_empty() {
                 self.replan(false);
@@ -548,12 +674,27 @@ fn current_tuple(state: &SchedulerState, cfg: &OnlineConfig, live: &[LiveJob]) -
     }
 }
 
+/// The display name of a scheduler mode (used as a trace attribute).
+fn mode_name(mode: &Mode) -> &'static str {
+    match mode {
+        Mode::Rotate => "rotate",
+        Mode::Sampling { .. } => "sampling",
+        Mode::Symbios { .. } => "symbios",
+    }
+}
+
+/// The telemetry track carrying one job's hierarchical spans.
+fn job_track(key: usize) -> String {
+    format!("job/{key}")
+}
+
 /// Books the finished slice and advances the scheduler state machine.
 fn advance_after_slice(
     state: &mut SchedulerState,
     cfg: &OnlineConfig,
     stats: &TimesliceStats,
     now: u64,
+    metrics: Option<&EngineMetrics>,
 ) {
     state.slice += 1;
     // Drift detection (§9 extension): if the running schedule stops behaving
@@ -617,6 +758,12 @@ fn advance_after_slice(
                     cfg.predictor.choose(&samples)
                 };
                 let order = candidates.get(pick).cloned().unwrap_or_default();
+                if let Some(m) = metrics {
+                    m.predictor_picks.inc();
+                    if prev_pick.as_deref() == Some(&order[..]) {
+                        m.repeat_picks.inc();
+                    }
+                }
                 // Exponential backoff: if a timer-triggered resample repeats
                 // the previous prediction, double the symbiosis interval.
                 let new_interval = if timer_triggered && prev_pick.as_deref() == Some(&order[..]) {
