@@ -29,7 +29,7 @@ fn streams() -> Vec<Box<dyn InstructionSource>> {
     let benches = [Benchmark::Fp, Benchmark::Gcc];
     (0..THREADS)
         .map(|i| {
-            benches[i % benches.len()].stream(StreamId(i as u32), i as u64)
+            benches[i % benches.len()].stream(StreamId(i as u64), i as u64)
                 as Box<dyn InstructionSource>
         })
         .collect()

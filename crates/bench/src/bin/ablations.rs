@@ -14,7 +14,7 @@ fn run(cfg: MachineConfig, benches: &[Benchmark], cycles: u64) -> (f64, u64, f64
     let mut streams: Vec<_> = benches
         .iter()
         .enumerate()
-        .map(|(i, b)| b.stream(StreamId(i as u32), 1000 + i as u64))
+        .map(|(i, b)| b.stream(StreamId(i as u64), 1000 + i as u64))
         .collect();
     let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> =
         streams.iter_mut().map(|s| &mut **s as _).collect();

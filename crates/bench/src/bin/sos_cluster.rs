@@ -1,0 +1,316 @@
+//! `sos-cluster` — the shard-scaling bench for the two-level cluster
+//! scheduler (`sos_core::cluster`).
+//!
+//! Replays a seeded exponential arrival trace (the same generator the §9
+//! experiments and `sos-loadgen` use) through a [`ClusterEngine`] of N
+//! per-core shards, drains it, and reports cluster-wide weighted speedup,
+//! response-time percentiles, migration counts, and simulation throughput.
+//! Because every shard advances its own machine clock, a cluster of N
+//! shards simulates N machine-cycles per cluster cycle — the scaling claim
+//! the record captures is `sim_cycles = shards × makespan` against wall
+//! time, cluster vs the single fat shard (`--shards 1`).
+//!
+//! Usage: `sos-cluster [--shards N] [--dispatch POLICY] [--policy sos|naive]
+//! [--jobs N] [--mean-interarrival CYCLES] [--mean-length CYCLES]
+//! [--phased-fraction F] [--seed S] [--smt N] [--timeslice CYCLES]
+//! [--slices-per-round N] [--rebalance-every N] [--steal-threshold N]
+//! [--bench-out FILE] [--report-out FILE] [--prom-out FILE]`
+//!
+//! The run is byte-reproducible for a fixed seed and shard count:
+//! `--report-out` writes a deterministic `ClusterReport` JSON (no
+//! wall-clock fields), so two runs of the same configuration can be
+//! compared with `cmp`. `--bench-out` appends a `kind:"cluster"` JSON line
+//! to the cross-PR perf trajectory (conventionally `BENCH_serve.json`);
+//! `--prom-out` dumps the final Prometheus exposition of the cluster
+//! metrics hub (per-shard queue/clock gauges, migration counters,
+//! response/slowdown histograms).
+
+use sos_bench::serve::{ClusterBenchRecord, CLUSTER_BENCH_RECORD_VERSION};
+use sos_core::cluster::{run_cluster_on_trace, ClusterConfig, ClusterEngine, DispatchPolicy};
+use sos_core::metrics::MetricsHub;
+use sos_core::online::{OnlineConfig, SchedulerKind};
+use sos_core::opensys::{calibrate_benchmarks, ArrivalTrace, ArrivalTraceSpec};
+use sos_core::predictor::PredictorKind;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Args {
+    shards: usize,
+    dispatch: DispatchPolicy,
+    policy: SchedulerKind,
+    jobs: usize,
+    mean_interarrival: u64,
+    mean_length: u64,
+    phased_fraction: f64,
+    seed: u64,
+    smt: usize,
+    timeslice: u64,
+    sample_schedules: usize,
+    base_interval: u64,
+    calibration_cycles: u64,
+    slices_per_round: u64,
+    rebalance_every: u64,
+    steal_threshold: usize,
+    bench_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+    prom_out: Option<PathBuf>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            shards: 4,
+            dispatch: DispatchPolicy::Symbiosis,
+            policy: SchedulerKind::Sos,
+            jobs: 60,
+            mean_interarrival: 400_000,
+            mean_length: 1_200_000,
+            phased_fraction: 0.25,
+            seed: 42,
+            smt: 4,
+            timeslice: 5_000,
+            sample_schedules: 6,
+            base_interval: 500_000,
+            calibration_cycles: 60_000,
+            slices_per_round: 8,
+            rebalance_every: 8,
+            steal_threshold: 4,
+            bench_out: None,
+            report_out: None,
+            prom_out: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--shards" => args.shards = num(&value("--shards")?, "--shards")?,
+            "--dispatch" => {
+                let v = value("--dispatch")?;
+                args.dispatch = DispatchPolicy::parse(&v)
+                    .ok_or_else(|| format!("bad dispatch policy {v:?}"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policy =
+                    SchedulerKind::parse(&v).ok_or_else(|| format!("bad policy {v:?}"))?;
+            }
+            "--jobs" => args.jobs = num(&value("--jobs")?, "--jobs")?,
+            "--mean-interarrival" => {
+                args.mean_interarrival = num(&value("--mean-interarrival")?, "--mean-interarrival")?
+            }
+            "--mean-length" => args.mean_length = num(&value("--mean-length")?, "--mean-length")?,
+            "--phased-fraction" => {
+                args.phased_fraction = num(&value("--phased-fraction")?, "--phased-fraction")?
+            }
+            "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--smt" => args.smt = num(&value("--smt")?, "--smt")?,
+            "--timeslice" => args.timeslice = num(&value("--timeslice")?, "--timeslice")?,
+            "--sample-schedules" => {
+                args.sample_schedules = num(&value("--sample-schedules")?, "--sample-schedules")?
+            }
+            "--base-interval" => {
+                args.base_interval = num(&value("--base-interval")?, "--base-interval")?
+            }
+            "--calibration-cycles" => {
+                args.calibration_cycles =
+                    num(&value("--calibration-cycles")?, "--calibration-cycles")?
+            }
+            "--slices-per-round" => {
+                args.slices_per_round = num(&value("--slices-per-round")?, "--slices-per-round")?
+            }
+            "--rebalance-every" => {
+                args.rebalance_every = num(&value("--rebalance-every")?, "--rebalance-every")?
+            }
+            "--steal-threshold" => {
+                args.steal_threshold = num(&value("--steal-threshold")?, "--steal-threshold")?
+            }
+            "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
+            "--prom-out" => args.prom_out = Some(PathBuf::from(value("--prom-out")?)),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.shards == 0 || args.jobs == 0 {
+        return Err("--shards and --jobs must be positive".into());
+    }
+    if args.mean_interarrival == 0 || args.mean_length == 0 {
+        return Err("--mean-interarrival and --mean-length must be positive".into());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sos-cluster: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Calibrate solo IPC once (shared cache makes this cheap across runs)
+    // and generate the arrival trace — a pure function of the seed, so
+    // every shard count sees the identical offered workload.
+    let solo = calibrate_benchmarks(args.smt, args.calibration_cycles, args.seed);
+    let trace = ArrivalTrace::generate(
+        &ArrivalTraceSpec {
+            mean_interarrival: args.mean_interarrival,
+            mean_job_cycles: args.mean_length,
+            num_jobs: args.jobs,
+            phased_fraction: args.phased_fraction,
+            seed: args.seed,
+        },
+        &solo,
+    );
+
+    let shard = OnlineConfig {
+        smt: args.smt,
+        timeslice: args.timeslice,
+        sample_schedules: args.sample_schedules,
+        predictor: PredictorKind::Ipc,
+        drift_threshold: Some(0.35),
+        base_interval: args.base_interval,
+        seed: args.seed,
+    };
+    let mut cfg = ClusterConfig::new(args.shards, args.dispatch, args.policy, shard);
+    cfg.slices_per_round = args.slices_per_round;
+    cfg.rebalance_every = args.rebalance_every;
+    cfg.steal_threshold = args.steal_threshold;
+
+    let hub = Arc::new(MetricsHub::new());
+    let mut engine = ClusterEngine::with_metrics(&cfg, Some(&hub));
+    engine.set_solo_ipc(solo);
+
+    println!(
+        "# sos-cluster: {} shard(s), dispatch {}, policy {}, {} jobs, seed {}",
+        args.shards,
+        args.dispatch.name(),
+        args.policy.name(),
+        args.jobs,
+        args.seed
+    );
+    let started = Instant::now();
+    let departed = run_cluster_on_trace(&mut engine, &trace.jobs, u64::MAX);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let report = engine.report();
+
+    if departed.len() != trace.jobs.len() {
+        eprintln!(
+            "sos-cluster: only {}/{} jobs completed",
+            departed.len(),
+            trace.jobs.len()
+        );
+        std::process::exit(1);
+    }
+
+    // shards × makespan: every shard clock advanced to `now`.
+    let sim_cycles = args.shards as u64 * report.now_cycles;
+    println!(
+        "completed {}  migrations {}  makespan {} cycles",
+        report.completed, report.migrations, report.now_cycles
+    );
+    println!(
+        "aggregate WS {:.3}  response p50 {:.0} p95 {:.0} p99 {:.0}  slowdown p99 {:.2}",
+        report.aggregate_ws,
+        report.response.p50,
+        report.response.p95,
+        report.response.p99,
+        report.slowdown.p99
+    );
+    println!(
+        "wall {:.2}s  sim {:.1}M cycles ({} shards)  {:.2}M sim-cycles/s",
+        wall_secs,
+        sim_cycles as f64 / 1e6,
+        args.shards,
+        sim_cycles as f64 / wall_secs.max(1e-9) / 1e6
+    );
+    println!("shard  submitted  migr-in  migr-out  completed  timeslices  depth");
+    for s in &report.per_shard {
+        println!(
+            "{:>5}  {:>9}  {:>7}  {:>8}  {:>9}  {:>10}  {:>5}",
+            s.shard,
+            s.submitted,
+            s.migrated_in,
+            s.migrated_out,
+            s.completed,
+            s.timeslices,
+            s.final_queue_depth
+        );
+    }
+
+    if let Some(path) = &args.report_out {
+        // Strip nothing: the report is already wall-clock-free, so the
+        // bytes are a determinism witness for (seed, shard count).
+        let json = serde_json::to_string_pretty(&report).expect("serialize report");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("sos-cluster: report-out {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("# report written to {}", path.display());
+    }
+
+    if let Some(path) = &args.prom_out {
+        let prom = hub.snapshot(report.now_cycles).prometheus_text();
+        if let Err(e) = std::fs::write(path, prom) {
+            eprintln!("sos-cluster: prom-out {} failed: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("# prometheus exposition written to {}", path.display());
+    }
+
+    if let Some(path) = &args.bench_out {
+        let record = ClusterBenchRecord {
+            schema: CLUSTER_BENCH_RECORD_VERSION,
+            kind: "cluster".to_string(),
+            unix_secs: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            shards: args.shards as u64,
+            dispatch: args.dispatch.name().to_string(),
+            policy: args.policy.name().to_string(),
+            seed: args.seed,
+            jobs: trace.jobs.len() as u64,
+            completed: report.completed,
+            migrations: report.migrations,
+            wall_secs,
+            sim_cycles,
+            sim_cycles_per_sec: sim_cycles as f64 / wall_secs.max(1e-9),
+            throughput_jobs_per_sec: report.completed as f64 / wall_secs.max(1e-9),
+            aggregate_ws: report.aggregate_ws,
+            mean_response: {
+                let sum: f64 = report
+                    .per_shard
+                    .iter()
+                    .flat_map(|s| s.records.iter())
+                    .map(|r| r.response() as f64)
+                    .sum();
+                sum / report.completed.max(1) as f64
+            },
+            response: report.response,
+            slowdown: report.slowdown,
+        };
+        match record.append_to(path) {
+            Ok(()) => println!(
+                "# cluster bench record appended to {} ({:.2}M sim-cycles/s, WS {:.3})",
+                path.display(),
+                record.sim_cycles_per_sec / 1e6,
+                record.aggregate_ws
+            ),
+            Err(e) => {
+                eprintln!("sos-cluster: bench-out {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -157,7 +157,8 @@ fn parse_args() -> Result<Args, String> {
     if !(args.slo_objective > 0.0 && args.slo_objective <= 1.0) {
         return Err("--slo-objective must be in (0, 1]".into());
     }
-    if !(args.slo_slowdown > 0.0) || args.slo_response == 0 || args.metrics_window == 0 {
+    let slowdown_ok = args.slo_slowdown > 0.0; // false for NaN too
+    if !slowdown_ok || args.slo_response == 0 || args.metrics_window == 0 {
         return Err("--slo-response, --slo-slowdown, and --metrics-window must be positive".into());
     }
     Ok(args)

@@ -232,15 +232,28 @@ impl Snapshot {
         dir.join("snapshot.json")
     }
 
-    /// Writes the snapshot atomically (temp file + rename) under `dir`,
-    /// creating the directory if needed.
+    /// Writes the snapshot atomically and durably (temp file + fsync +
+    /// rename + directory fsync) under `dir`, creating the directory if
+    /// needed.
+    ///
+    /// Both syncs matter: without `sync_all` on the temp file, a crash
+    /// after the rename can surface a zero-byte "snapshot.json" (the
+    /// rename is journaled before the data hits disk); without the
+    /// directory sync, the rename itself may not survive the crash.
     pub fn store(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let tmp = dir.join("snapshot.json.tmp");
         let json = serde_json::to_string(self)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        std::fs::write(&tmp, json)?;
-        std::fs::rename(&tmp, Self::path_in(dir))
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, Self::path_in(dir))?;
+        #[cfg(unix)]
+        std::fs::File::open(dir)?.sync_all()?;
+        Ok(())
     }
 
     /// Loads the latest snapshot from `dir`. Returns `None` when there is no
@@ -307,15 +320,77 @@ impl BenchRecord {
     /// Appends the record as one JSON line to `path`, creating the file if
     /// needed.
     pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let mut f = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
-        f.write_all(json.as_bytes())?;
-        f.write_all(b"\n")
+        append_json_line(self, path)
     }
+}
+
+/// Current [`ClusterBenchRecord`] schema version.
+pub const CLUSTER_BENCH_RECORD_VERSION: u32 = 1;
+
+/// One cluster-scaling record, appended as a JSON line to
+/// `BENCH_serve.json` by `sos-cluster --bench-out`. Distinguished from
+/// loadgen [`BenchRecord`] lines by its `kind:"cluster"` field.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterBenchRecord {
+    /// Schema version ([`CLUSTER_BENCH_RECORD_VERSION`]).
+    pub schema: u32,
+    /// Record discriminator, always `"cluster"`.
+    pub kind: String,
+    /// Wall-clock record time (seconds since the Unix epoch).
+    pub unix_secs: u64,
+    /// Shard count.
+    pub shards: u64,
+    /// Dispatcher policy (`round-robin` / `least-loaded` / `symbiosis`).
+    pub dispatch: String,
+    /// Per-shard scheduling policy (`naive` / `sos`).
+    pub policy: String,
+    /// Cluster seed.
+    pub seed: u64,
+    /// Jobs in the offered trace.
+    pub jobs: u64,
+    /// Jobs completed by drain time.
+    pub completed: u64,
+    /// Jobs migrated between shards by rebalancing.
+    pub migrations: u64,
+    /// Wall time for the full run, seconds.
+    pub wall_secs: f64,
+    /// Total simulated machine-cycles across all shard clocks
+    /// (`shards × cluster clock` — N cores each advanced the cluster
+    /// makespan).
+    pub sim_cycles: u64,
+    /// `sim_cycles / wall_secs` — the cluster's simulation throughput.
+    pub sim_cycles_per_sec: f64,
+    /// Completions per wall-clock second.
+    pub throughput_jobs_per_sec: f64,
+    /// Cluster-wide weighted speedup (solo-equivalent cycles completed per
+    /// busy machine cycle).
+    pub aggregate_ws: f64,
+    /// Mean response time in simulated cycles.
+    pub mean_response: f64,
+    /// Exact response-time percentiles in simulated cycles.
+    pub response: Percentiles,
+    /// Exact slowdown percentiles.
+    pub slowdown: Percentiles,
+}
+
+impl ClusterBenchRecord {
+    /// Appends the record as one JSON line to `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        append_json_line(self, path)
+    }
+}
+
+/// Appends one serialized value as a JSON line to `path`.
+fn append_json_line<T: Serialize>(value: &T, path: &Path) -> std::io::Result<()> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")
 }
 
 /// A blocking JSON-lines client for `sos-serve` (used by `sos-loadgen` and
@@ -438,6 +513,38 @@ mod tests {
         // Corrupt JSON is equally non-fatal.
         std::fs::write(Snapshot::path_in(&dir), "{not json").unwrap();
         assert!(Snapshot::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_byte_snapshot_is_treated_as_corrupt() {
+        // A crash between File::create and the data hitting disk used to be
+        // able to leave a zero-byte snapshot.json; restore must treat it
+        // like any corrupt snapshot (None) so the daemon still starts.
+        let dir = std::env::temp_dir().join(format!("sos-serve-zero-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(Snapshot::path_in(&dir), b"").unwrap();
+        assert!(Snapshot::load(&dir).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_store_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join(format!("sos-serve-tmp-{}", std::process::id()));
+        let snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            policy: "naive".into(),
+            smt: 2,
+            seed: 1,
+            now_cycles: 1,
+            submitted: 0,
+            rejected: 0,
+            completed: Vec::new(),
+            inflight: Vec::new(),
+        };
+        snap.store(&dir).expect("store");
+        assert!(!dir.join("snapshot.json.tmp").exists());
+        assert!(Snapshot::load(&dir).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,7 +34,7 @@ impl JobPool {
         let mut labels = Vec::new();
         let mut groups = Vec::new();
         for (j, spec) in specs.iter().enumerate() {
-            let base = StreamId(threads.len() as u32);
+            let base = StreamId(threads.len() as u64);
             let job_seed = seed
                 .wrapping_mul(0x9e3779b97f4a7c15)
                 .wrapping_add((j as u64 + 1).wrapping_mul(0xd1b54a32d192ed03));
@@ -177,7 +177,7 @@ mod tests {
         let mut p = pool();
         for i in 0..4 {
             let refs = p.select_mut(&[i]);
-            assert_eq!(refs[0].id(), StreamId(i as u32));
+            assert_eq!(refs[0].id(), StreamId(i as u64));
         }
     }
 

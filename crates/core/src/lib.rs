@@ -43,6 +43,11 @@
 //! * [`opensys`] — the open system of §9: exponential arrivals/departures,
 //!   resampling with exponential backoff, response-time accounting (batch
 //!   replay of an arrival trace through the online engine).
+//! * [`cluster`] — the two-level cluster scheduler: a dispatcher
+//!   (round-robin, least-loaded, or symbiosis-aware routing, plus
+//!   work-stealing rebalancing) over N per-core [`online`] shards running
+//!   in lockstep on their own OS threads, byte-reproducible per seed and
+//!   shard count.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +64,7 @@
 
 pub mod arrivals;
 pub mod cache;
+pub mod cluster;
 pub mod dist;
 pub mod enumerate;
 pub mod error;

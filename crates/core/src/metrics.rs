@@ -796,16 +796,23 @@ pub struct EngineMetrics {
 impl EngineMetrics {
     /// Registers the engine series in `hub` and resolves the handles.
     pub fn register(hub: &MetricsHub) -> Self {
+        Self::register_prefixed(hub, "engine")
+    }
+
+    /// Registers the engine series under an arbitrary prefix (e.g.
+    /// `cluster.shard0`), so every shard of a cluster exports its own
+    /// `<prefix>.timeslices`, `<prefix>.queue_depth`, … family.
+    pub fn register_prefixed(hub: &MetricsHub, prefix: &str) -> Self {
         EngineMetrics {
-            timeslices: hub.counter("engine.timeslices"),
-            sampling_slices: hub.counter("engine.sampling_slices"),
-            symbios_slices: hub.counter("engine.symbios_slices"),
-            rotate_slices: hub.counter("engine.rotate_slices"),
-            predictor_picks: hub.counter("engine.predictor_picks"),
-            repeat_picks: hub.counter("engine.repeat_picks"),
-            resamples: hub.counter("engine.resamples"),
-            queue_depth: hub.gauge("engine.queue_depth"),
-            running: hub.gauge("engine.running"),
+            timeslices: hub.counter(&format!("{prefix}.timeslices")),
+            sampling_slices: hub.counter(&format!("{prefix}.sampling_slices")),
+            symbios_slices: hub.counter(&format!("{prefix}.symbios_slices")),
+            rotate_slices: hub.counter(&format!("{prefix}.rotate_slices")),
+            predictor_picks: hub.counter(&format!("{prefix}.predictor_picks")),
+            repeat_picks: hub.counter(&format!("{prefix}.repeat_picks")),
+            resamples: hub.counter(&format!("{prefix}.resamples")),
+            queue_depth: hub.gauge(&format!("{prefix}.queue_depth")),
+            running: hub.gauge(&format!("{prefix}.running")),
         }
     }
 }
@@ -1017,9 +1024,7 @@ mod tests {
         assert!(text.contains("sos_serve_response_cycles_slo_met 1"));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let mut parts = line.rsplitn(2, ' ');
-            let value = parts.next().unwrap();
-            let series = parts.next().unwrap();
+            let (series, value) = line.rsplit_once(' ').unwrap();
             assert!(!series.is_empty(), "bad exposition line {line:?}");
             assert!(
                 value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),

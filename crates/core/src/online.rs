@@ -225,6 +225,9 @@ pub struct OnlineEngine {
     population_cycles: u128,
     resamples: u64,
     timeslices: u64,
+    /// Queued-but-not-started jobs handed back via
+    /// [`reclaim_unstarted`](Self::reclaim_unstarted) (cluster migration).
+    reclaimed: usize,
     pending_mix_change: bool,
     /// Live-metrics handles, attached by a serving layer (`None` costs one
     /// branch per touch point and keeps batch runs byte-identical).
@@ -262,6 +265,7 @@ impl OnlineEngine {
             population_cycles: 0,
             resamples: 0,
             timeslices: 0,
+            reclaimed: 0,
             pending_mix_change: false,
             metrics: None,
             job_spans: false,
@@ -325,6 +329,11 @@ impl OnlineEngine {
         self.completed
     }
 
+    /// Jobs reclaimed (migrated away) over the engine's lifetime.
+    pub fn reclaimed(&self) -> usize {
+        self.reclaimed
+    }
+
     /// Sample phases entered (always 0 for the naive scheduler).
     pub fn resamples(&self) -> u64 {
         self.resamples
@@ -367,7 +376,10 @@ impl OnlineEngine {
             ],
         );
         telemetry::counter_add("opensys.arrivals", 1);
-        let id = StreamId(key as u32);
+        // Full 64-bit key: a long-lived daemon past 2^32 submissions must not
+        // reuse a stream identity (truncation made jobs replay other jobs'
+        // instruction streams).
+        let id = StreamId(key as u64);
         let job_seed = self.cfg.seed ^ (key as u64).wrapping_mul(0x9e37);
         let stream = if arrival.phased {
             // Phase length ~ a handful of timeslices' worth of work, so
@@ -408,6 +420,50 @@ impl OnlineEngine {
         }
         self.pending_mix_change = true;
         key
+    }
+
+    /// Removes up to `max` queued-but-not-started jobs (newest first) and
+    /// returns their arrival records in arrival order, for resubmission
+    /// elsewhere. This is the migration primitive of the cluster scheduler:
+    /// only jobs that have never run a timeslice are eligible, so no
+    /// execution progress is lost and the job can be rebuilt bit-identically
+    /// from its [`JobArrival`] on the destination shard.
+    ///
+    /// Reclaiming counts as a mix change (the next [`step`](Self::step)
+    /// replans). Keys are never reused, so [`submitted`](Self::submitted)
+    /// still counts the reclaimed jobs; [`reclaimed`](Self::reclaimed)
+    /// reports how many left this way.
+    pub fn reclaim_unstarted(&mut self, max: usize) -> Vec<JobArrival> {
+        if max == 0 || self.live.is_empty() {
+            return Vec::new();
+        }
+        let tracing = self.job_spans && telemetry::is_enabled();
+        let mut taken = Vec::new();
+        let mut i = self.live.len();
+        while i > 0 && taken.len() < max {
+            i -= 1;
+            if !self.live[i].scheduled_once {
+                let job = self.live.remove(i);
+                if tracing {
+                    telemetry::set_clock(self.now);
+                    let track = job_track(job.key);
+                    telemetry::span_end(&track, "job.queue_wait");
+                    telemetry::instant(&track, "job.reclaimed", vec![]);
+                    telemetry::span_end(&track, "job.lifetime");
+                }
+                taken.push(job.arrival);
+            }
+        }
+        if !taken.is_empty() {
+            taken.reverse();
+            self.reclaimed += taken.len();
+            self.pending_mix_change = true;
+            if let Some(m) = &self.metrics {
+                m.queue_depth.set(self.live.len() as f64);
+            }
+            telemetry::gauge_set("opensys.jobs_in_system", self.live.len() as f64);
+        }
+        taken
     }
 
     /// Runs one timeslice: replans if the mix changed since the last step,
@@ -471,12 +527,16 @@ impl OnlineEngine {
             .collect();
         let mode = mode_name(&self.state.mode);
         let tracing = self.job_spans && telemetry::is_enabled();
-        if tracing {
-            for &pos in &tuple_positions {
-                let job = &mut self.live[pos];
+        for &pos in &tuple_positions {
+            let job = &mut self.live[pos];
+            // Mark unconditionally: `scheduled_once` gates migration
+            // eligibility (reclaim_unstarted), not just trace spans, so it
+            // must be tracked even with telemetry off.
+            let first_slice = !job.scheduled_once;
+            job.scheduled_once = true;
+            if tracing {
                 let track = job_track(job.key);
-                if !job.scheduled_once {
-                    job.scheduled_once = true;
+                if first_slice {
                     telemetry::span_end(&track, "job.queue_wait");
                     telemetry::instant(
                         &track,
@@ -645,10 +705,14 @@ fn schedule_of(order: &[usize], y: usize) -> Schedule {
 /// Window of `y` keys starting at `slice·y` in the circular `order`,
 /// restricted to keys still live.
 fn window(order: &[usize], live: &[LiveJob], y: usize, slice: usize) -> Vec<usize> {
+    // One O(live) set build instead of an O(order × live) scan per call —
+    // this runs every timeslice, and production queue depths made it
+    // quadratic. Filtering preserves `order`, so output is unchanged.
+    let live_keys: std::collections::HashSet<usize> = live.iter().map(|j| j.key).collect();
     let alive: Vec<usize> = order
         .iter()
         .copied()
-        .filter(|k| live.iter().any(|j| j.key == *k))
+        .filter(|k| live_keys.contains(k))
         .collect();
     let n = alive.len();
     if n == 0 {
@@ -950,6 +1014,42 @@ mod tests {
         let inflight = e.live_arrivals();
         assert_eq!(inflight.len(), 2);
         assert!(inflight.iter().all(|a| a.instructions == 1_000_000));
+    }
+
+    #[test]
+    fn submission_keys_above_u32_keep_distinct_stream_ids() {
+        // Regression: `StreamId(key as u32)` truncated the submission index,
+        // so the 2^32-th job replayed job 0's instruction stream.
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        let big = (1usize << 32) + 5;
+        e.next_key = big;
+        let key = e.submit(job(0, 1_000));
+        assert_eq!(key, big);
+        assert_eq!(e.live[0].stream.id(), StreamId(big as u64));
+        assert_ne!(e.live[0].stream.id(), StreamId(5));
+    }
+
+    #[test]
+    fn reclaim_takes_only_unstarted_jobs_newest_first() {
+        let mut e = OnlineEngine::new(SchedulerKind::Naive, &cfg());
+        e.submit(job(0, 1_000_000));
+        e.submit(job(0, 1_000_000));
+        e.step(); // job 0 (and with SMT 2, job 1) may have started
+        e.submit(job(e.now(), 500_000));
+        e.submit(job(e.now(), 500_000));
+        let before = e.live_count();
+        let taken = e.reclaim_unstarted(10);
+        // Jobs 2 and 3 never ran a slice; jobs 0/1 are in the current tuple.
+        assert_eq!(taken.len(), 2);
+        assert!(taken.iter().all(|a| a.instructions == 500_000));
+        assert_eq!(e.live_count(), before - 2);
+        assert_eq!(e.reclaimed(), 2);
+        // Arrival order preserved for deterministic resubmission.
+        assert!(taken[0].arrival <= taken[1].arrival);
+        // Bounded reclaim takes at most `max`.
+        e.submit(job(e.now(), 500_000));
+        e.submit(job(e.now(), 500_000));
+        assert_eq!(e.reclaim_unstarted(1).len(), 1);
     }
 
     #[test]

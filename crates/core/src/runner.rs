@@ -77,7 +77,7 @@ impl RotationStats {
                         tuple: tuple.clone(),
                     });
                 }
-                if let Some(ts) = slice.thread(smtsim::StreamId(t as u32)) {
+                if let Some(ts) = slice.thread(smtsim::StreamId(t as u64)) {
                     out[t] += ts.committed;
                 }
             }
@@ -189,7 +189,7 @@ impl Runner {
             let stats = self.run_tuple(&tuple, measure);
             for &t in tuple.threads() {
                 let ipc = stats
-                    .thread(smtsim::StreamId(t as u32))
+                    .thread(smtsim::StreamId(t as u64))
                     .map(|ts| ts.ipc(measure))
                     .unwrap_or(0.0);
                 rates[t] = ipc.max(1e-6);

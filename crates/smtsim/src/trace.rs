@@ -12,8 +12,14 @@ use serde::{Deserialize, Serialize};
 /// The upper bits of every address a stream emits should embed its `StreamId`
 /// (see [`StreamId::tag_addr`]) so that distinct jobs conflict in the shared
 /// caches without false sharing.
+///
+/// The id is a full `u64` so that a long-lived service submitting more than
+/// 2^32 jobs never reuses an identity (stream *identity* — equality, hashing,
+/// per-thread stats — always uses all 64 bits). The address tag derived from
+/// it is necessarily narrower (see [`StreamId::tag_addr`]); tag collisions
+/// only cause extra cache conflicts, never identity confusion.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct StreamId(pub u32);
+pub struct StreamId(pub u64);
 
 impl StreamId {
     /// Number of low-order address bits left for the stream's own layout.
@@ -21,6 +27,12 @@ impl StreamId {
 
     /// Embeds this stream id into the upper bits of a 40-bit local address,
     /// producing a globally unique physical address.
+    ///
+    /// Only `64 − ADDR_BITS = 24` tag bits fit above the local address, so
+    /// the id is XOR-folded down to 24 bits. For ids below 2^24 the tag is
+    /// the id itself (bit-identical with the historical `u32` behaviour);
+    /// larger ids fold their upper bits in so that, e.g., ids `0` and `2^32`
+    /// still land in different address spaces.
     ///
     /// ```
     /// use smtsim::trace::StreamId;
@@ -30,14 +42,15 @@ impl StreamId {
     /// ```
     #[inline]
     pub fn tag_addr(self, local: u64) -> u64 {
-        (u64::from(self.0) << Self::ADDR_BITS) | (local & ((1 << Self::ADDR_BITS) - 1))
+        let tag = (self.0 ^ (self.0 >> 24) ^ (self.0 >> 48)) & ((1 << (64 - Self::ADDR_BITS)) - 1);
+        (tag << Self::ADDR_BITS) | (local & ((1 << Self::ADDR_BITS) - 1))
     }
 }
 
 impl Default for StreamId {
-    /// A sentinel id (`u32::MAX`) meaning "no stream".
+    /// A sentinel id (`u64::MAX`) meaning "no stream".
     fn default() -> Self {
-        StreamId(u32::MAX)
+        StreamId(u64::MAX)
     }
 }
 
@@ -292,6 +305,28 @@ mod tests {
     fn stream_id_tagging_masks_overlong_local_addresses() {
         let a = StreamId(1).tag_addr(u64::MAX);
         assert_eq!(a >> StreamId::ADDR_BITS, 1);
+    }
+
+    #[test]
+    fn stream_id_tagging_small_ids_matches_plain_shift() {
+        // Ids below 2^24 must tag exactly as the historical u32 implementation
+        // did (plain shift into the top bits) so existing figure outputs are
+        // byte-identical.
+        for id in [0u64, 1, 7, 4095, (1 << 24) - 1] {
+            let got = StreamId(id).tag_addr(0x1234);
+            assert_eq!(got, (id << StreamId::ADDR_BITS) | 0x1234);
+        }
+    }
+
+    #[test]
+    fn stream_id_above_u32_keeps_distinct_identity_and_tag() {
+        let lo = StreamId(5);
+        let hi = StreamId((1 << 32) + 5);
+        // Identity (Eq/Hash) uses all 64 bits: no collision after 2^32 jobs.
+        assert_ne!(lo, hi);
+        // The folded address tag also differs: bit 32 folds down to bit 8.
+        assert_ne!(lo.tag_addr(0x1000), hi.tag_addr(0x1000));
+        assert_eq!(hi.tag_addr(0x1000) >> StreamId::ADDR_BITS, 5 | (1 << 8));
     }
 
     #[test]

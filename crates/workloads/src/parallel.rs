@@ -149,7 +149,7 @@ impl ParallelJob {
             .map(|i| ParallelThread {
                 inner: SyntheticStream::new(
                     benchmark.profile(),
-                    StreamId(base_id.0 + i as u32),
+                    StreamId(base_id.0 + i as u64),
                     seed.wrapping_add(i as u64).wrapping_mul(0x9e3779b97f4a7c15),
                 ),
                 core: Arc::clone(&core),
@@ -261,7 +261,7 @@ mod tests {
     #[test]
     fn distinct_stream_ids_and_seeds() {
         let threads = ParallelJob::new(Benchmark::Array, 3, 100, StreamId(7), 1).into_threads();
-        let ids: Vec<u32> = threads.iter().map(|t| t.id().0).collect();
+        let ids: Vec<u64> = threads.iter().map(|t| t.id().0).collect();
         assert_eq!(ids, vec![7, 8, 9]);
     }
 

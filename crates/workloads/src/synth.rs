@@ -102,7 +102,7 @@ impl SyntheticStream {
         if let Err(e) = profile.validate() {
             panic!("invalid benchmark profile: {e}");
         }
-        let mut rng = SmallRng::seed_from_u64(seed ^ hash64(u64::from(id.0) << 32));
+        let mut rng = SmallRng::seed_from_u64(seed ^ hash64(id.0 << 32));
         // Branch frequency -> mean basic-block length.
         let total = profile.mix.total();
         let branch_frac = (profile.mix.branch / total).clamp(0.001, 0.5);
@@ -113,10 +113,10 @@ impl SyntheticStream {
         let hot_bytes = ((profile.data_bytes as f64 * profile.hot_fraction) as u64).max(256);
         // Scatter each stream's regions across the 40-bit space (page
         // aligned) so streams do not collide set-for-set in shared caches.
-        let data_base = (hash64(seed ^ (u64::from(id.0) << 8) ^ 0xda7a) << 13)
-            & ((1 << (StreamId::ADDR_BITS - 1)) - 1);
-        let code_base = (hash64(seed ^ (u64::from(id.0) << 8) ^ 0xc0de) << 13)
-            & ((1 << (StreamId::ADDR_BITS - 1)) - 1);
+        let data_base =
+            (hash64(seed ^ (id.0 << 8) ^ 0xda7a) << 13) & ((1 << (StreamId::ADDR_BITS - 1)) - 1);
+        let code_base =
+            (hash64(seed ^ (id.0 << 8) ^ 0xc0de) << 13) & ((1 << (StreamId::ADDR_BITS - 1)) - 1);
         let block = rng.gen_range(0..n_blocks);
         let phase_offset = rng.gen_range(0.0..std::f64::consts::TAU);
         let mut s = SyntheticStream {

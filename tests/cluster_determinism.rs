@@ -1,0 +1,207 @@
+//! The cluster determinism suite of the two-level scheduler
+//! (`sos_core::cluster`):
+//!
+//! 1. same seed + shard count ⇒ byte-identical per-shard traces and
+//!    cluster report (serialized JSON compared as bytes);
+//! 2. a 1-shard cluster is bit-exact with a plain `OnlineEngine` driven by
+//!    the canonical open-system loop;
+//! 3. migration conserves jobs: under forced stealing nothing is lost or
+//!    duplicated, and every departed job matches a submitted one.
+
+use sos_core::cluster::{run_cluster_on_trace, ClusterConfig, ClusterEngine, DispatchPolicy};
+use sos_core::online::{JobRecord, OnlineEngine, SchedulerKind};
+use sos_core::opensys::{arrival_trace, calibrate_benchmarks, JobArrival, OpenSystemConfig};
+
+fn small_config() -> OpenSystemConfig {
+    // Tiny cycle budget: the suite runs several debug-profile cluster
+    // simulations. The determinism claims are scale-independent.
+    let mut cfg = OpenSystemConfig::scaled(2);
+    cfg.mean_job_cycles = 60_000;
+    cfg.mean_interarrival = 30_000;
+    cfg.num_jobs = 16;
+    cfg.calibration_cycles = 4_000;
+    cfg.phased_fraction = 0.3;
+    cfg.seed = 0xC1_05;
+    cfg
+}
+
+fn small_trace(cfg: &OpenSystemConfig) -> Vec<JobArrival> {
+    let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
+    arrival_trace(cfg, &solo)
+}
+
+fn cluster_config(cfg: &OpenSystemConfig, shards: usize) -> ClusterConfig {
+    ClusterConfig::new(
+        shards,
+        DispatchPolicy::Symbiosis,
+        SchedulerKind::Sos,
+        cfg.online(),
+    )
+}
+
+#[test]
+fn seeded_cluster_runs_are_byte_identical() {
+    let cfg = small_config();
+    let trace = small_trace(&cfg);
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        let ccfg = cluster_config(&cfg, 4);
+        let mut engine = ClusterEngine::new(&ccfg);
+        let done = run_cluster_on_trace(&mut engine, &trace, u64::MAX);
+        assert_eq!(done.len(), trace.len());
+        // The report is wall-clock-free by construction, so two runs of
+        // the same (seed, shard count) must serialize to identical bytes —
+        // including every shard's full departure trace.
+        reports.push(serde_json::to_string(&engine.report()).expect("serialize"));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "same seed + shard count must be byte-reproducible"
+    );
+}
+
+#[test]
+fn different_shard_seeds_differ() {
+    // Shard seeding is cluster seed ⊕ shard id: the report records it, and
+    // distinct shards must not share an RNG stream.
+    let cfg = small_config();
+    let ccfg = cluster_config(&cfg, 3);
+    let mut engine = ClusterEngine::new(&ccfg);
+    let report = engine.report();
+    let seeds: Vec<u64> = report.per_shard.iter().map(|s| s.seed).collect();
+    assert_eq!(seeds.len(), 3);
+    assert_eq!(seeds[0], cfg.seed); // shard 0 keeps the cluster seed
+    for (i, s) in seeds.iter().enumerate() {
+        assert_eq!(*s, cfg.seed ^ i as u64);
+    }
+}
+
+#[test]
+fn one_shard_cluster_is_bit_exact_with_plain_engine() {
+    let cfg = small_config();
+    let trace = small_trace(&cfg);
+
+    // Plain engine under the canonical open-system loop.
+    let mut engine = OnlineEngine::new(SchedulerKind::Sos, &cfg.online());
+    let mut plain: Vec<JobRecord> = Vec::new();
+    let mut next = 0usize;
+    while plain.len() < trace.len() {
+        while next < trace.len() && trace[next].arrival <= engine.now() {
+            engine.submit(trace[next].clone());
+            next += 1;
+        }
+        if engine.live_count() == 0 {
+            engine.jump_to(trace[next].arrival);
+            continue;
+        }
+        plain.extend(engine.step());
+    }
+
+    // 1-shard cluster over the identical trace. slices_per_round = 1 makes
+    // the round structure step-for-step identical; with one shard every
+    // dispatch policy routes every job to shard 0 and rebalancing can
+    // never fire.
+    let mut ccfg = cluster_config(&cfg, 1);
+    ccfg.slices_per_round = 1;
+    let mut cluster = ClusterEngine::new(&ccfg);
+    let clustered = run_cluster_on_trace(&mut cluster, &trace, u64::MAX);
+
+    assert_eq!(plain.len(), clustered.len(), "job counts");
+    for (p, c) in plain.iter().zip(&clustered) {
+        assert_eq!(
+            (p.arrival.arrival, p.departure),
+            (c.arrival.arrival, c.departure),
+            "1-shard cluster diverged from the plain engine"
+        );
+    }
+    assert_eq!(cluster.migrations(), 0);
+}
+
+#[test]
+fn forced_stealing_conserves_jobs() {
+    let cfg = small_config();
+    let trace = small_trace(&cfg);
+
+    // Round-robin dispatch keeps job *counts* equal, so a single burst
+    // never opens a depth gap. Instead: burst A pins shard 0 with two
+    // long jobs (round-robin slots 0 and 4) while shards 1–3 drain their
+    // short ones; burst B then piles fresh — still unstarted — work onto
+    // every shard, leaving shard 0 deepest. With the most aggressive
+    // steal settings the gap forces reclaim + re-dispatch.
+    let mut ccfg = ClusterConfig::new(
+        4,
+        DispatchPolicy::RoundRobin,
+        SchedulerKind::Naive,
+        cfg.online(),
+    );
+    ccfg.rebalance_every = 1;
+    ccfg.steal_threshold = 2;
+    ccfg.slices_per_round = 1;
+    let mut engine = ClusterEngine::new(&ccfg);
+
+    let mut submitted = Vec::new();
+    let mut submit = |engine: &mut ClusterEngine, mut j: JobArrival, now: u64, stretch: u64| {
+        j.arrival = now;
+        j.instructions *= stretch;
+        submitted.push(j.clone());
+        engine.submit(j);
+    };
+
+    // Burst A: 8 jobs, two per shard; shard 0's two are 20× longer.
+    for (i, job) in trace.iter().take(8).enumerate() {
+        let stretch = if i % 4 == 0 { 20 } else { 1 };
+        submit(&mut engine, job.clone(), 0, stretch);
+    }
+    // Run until shards 1–3 are empty but shard 0 still holds its long jobs.
+    let mut done: Vec<JobRecord> = Vec::new();
+    for _ in 0..1_000_000u64 {
+        if engine.shard_depths()[1..].iter().all(|&d| d == 0) {
+            break;
+        }
+        done.extend(engine.step());
+    }
+    assert!(
+        engine.shard_depths()[0] > 0,
+        "shard 0's long jobs must outlive the others' short ones"
+    );
+
+    // Burst B: 16 fresh jobs, four per shard — shard 0 is now deepest and
+    // its newest jobs have never run, so the next rebalance steals.
+    let now = engine.now();
+    for job in trace.iter().cycle().take(16) {
+        submit(&mut engine, job.clone(), now, 1);
+    }
+    done.extend(engine.drain(u64::MAX));
+
+    assert!(
+        engine.migrations() > 0,
+        "aggressive stealing settings must trigger at least one migration"
+    );
+    assert_eq!(done.len(), submitted.len(), "no job lost or duplicated");
+    assert_eq!(engine.completed() as usize, submitted.len());
+
+    // Every departed job corresponds 1:1 to a submitted arrival record
+    // (compare as sorted multisets of the identifying fields).
+    let key = |a: &JobArrival| {
+        (
+            a.arrival,
+            format!("{:?}", a.benchmark),
+            a.instructions,
+            a.phased,
+        )
+    };
+    let mut want: Vec<_> = submitted.iter().map(&key).collect();
+    let mut got: Vec<_> = done.iter().map(|r| key(&r.arrival)).collect();
+    want.sort();
+    got.sort();
+    assert_eq!(want, got, "migration altered a job's identity");
+
+    // Mirror accounting agrees with itself.
+    let report = engine.report();
+    let migrated_in: usize = report.per_shard.iter().map(|s| s.migrated_in).sum();
+    let migrated_out: usize = report.per_shard.iter().map(|s| s.migrated_out).sum();
+    assert_eq!(migrated_in, migrated_out);
+    assert_eq!(report.migrations as usize, migrated_in);
+    let per_shard_completed: u64 = report.per_shard.iter().map(|s| s.completed).sum();
+    assert_eq!(per_shard_completed, report.completed);
+}

@@ -25,7 +25,7 @@ proptest! {
         let mut streams: Vec<SyntheticStream> = benches
             .iter()
             .enumerate()
-            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u32), seed ^ i as u64))
+            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u64), seed ^ i as u64))
             .collect();
         let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> =
             streams.iter_mut().map(|s| s as _).collect();
@@ -71,7 +71,7 @@ proptest! {
         let mut streams: Vec<SyntheticStream> = benches
             .iter()
             .enumerate()
-            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u32), seed ^ i as u64))
+            .map(|(i, b)| SyntheticStream::new(b.profile(), StreamId(i as u64), seed ^ i as u64))
             .collect();
         let mut refs: Vec<&mut dyn smtsim::trace::InstructionSource> =
             streams.iter_mut().map(|s| s as _).collect();
