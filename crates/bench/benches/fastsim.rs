@@ -1,0 +1,79 @@
+//! Criterion benchmark for phase-aware sampled fast simulation
+//! (`smtsim::fastsim`): sim-cycle throughput of a steady fixed-schedule
+//! workload, full detail vs fast mode at several stability thresholds.
+//!
+//! The scenario is the extrapolator's home turf — a steady 8-job pool on a
+//! round-robin schedule, no resampling — so the `fastsim/…` ratios are the
+//! speedup ceiling (the tentpole's 10–100× claim). `fastsim-compare` holds
+//! the matching end-to-end open-system numbers with accuracy bounds.
+//!
+//! Throughput is reported in simulated cycles (`Throughput::Elements`), so
+//! Criterion's `elem/s` readout is directly sim-cycles/sec.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smtsim::{FastSimPolicy, MachineConfig};
+use sos_core::job::JobPool;
+use sos_core::runner::Runner;
+use sos_core::schedule::Schedule;
+use workloads::spec::Benchmark;
+use workloads::JobSpec;
+
+const SMT: usize = 4;
+const TIMESLICE: u64 = 5_000;
+const ROTATIONS: usize = 50;
+
+fn specs() -> Vec<JobSpec> {
+    [
+        Benchmark::Fp,
+        Benchmark::Gcc,
+        Benchmark::Mg,
+        Benchmark::Go,
+        Benchmark::Swim,
+        Benchmark::Is,
+        Benchmark::Array,
+        Benchmark::Fp,
+    ]
+    .iter()
+    .map(|&b| JobSpec::single(b))
+    .collect()
+}
+
+fn runner(fastsim: Option<FastSimPolicy>) -> (Runner, Schedule) {
+    let specs = specs();
+    let schedule = Schedule::new((0..specs.len()).collect(), SMT, SMT);
+    let pool = JobPool::from_specs(&specs, 7);
+    let mut r = Runner::new(MachineConfig::alpha21264_like(SMT), pool, TIMESLICE);
+    r.set_fastsim(fastsim);
+    (r, schedule)
+}
+
+fn schedule_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastsim");
+    // Cycles simulated per iteration: rotations × slices/rotation × slice.
+    let slices_per_rotation = (specs().len() / SMT) as u64;
+    group.throughput(Throughput::Elements(
+        ROTATIONS as u64 * slices_per_rotation * TIMESLICE,
+    ));
+
+    group.bench_function("detailed", |b| {
+        let (mut r, s) = runner(None);
+        b.iter(|| r.run_schedule(&s, ROTATIONS));
+    });
+    for threshold in [0.05, 0.10, 0.20] {
+        group.bench_with_input(
+            BenchmarkId::new("fast", format!("{threshold}")),
+            &threshold,
+            |b, &threshold| {
+                let (mut r, s) = runner(Some(FastSimPolicy::with_threshold(threshold)));
+                // Let the phase detector lock before measuring, as a
+                // long-running simulation would have.
+                let _ = r.run_schedule(&s, 8);
+                b.iter(|| r.run_schedule(&s, ROTATIONS));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, schedule_throughput);
+criterion_main!(benches);

@@ -1,0 +1,511 @@
+//! `fastsim-compare` — speedup-versus-error harness for phase-aware
+//! sampled fast simulation (`smtsim::fastsim`).
+//!
+//! Two measurements, both against the identical seeded workload:
+//!
+//! 1. **Accuracy** — a full open-system scenario (the fig5/fig6 engine,
+//!    SOS policy) runs once in full detail and once per `--thresholds`
+//!    entry in fast mode. The table reports wall speedup, extrapolated
+//!    fraction, and the relative error of aggregate weighted speedup,
+//!    mean response time, and the p95/p99 response and slowdown
+//!    percentiles. The open-system loop keeps all its scheduling machinery
+//!    (sampling phases always run detailed), so this is the honest
+//!    end-to-end number. Error assertions gate on the p95 percentiles:
+//!    p99 over a few hundred jobs is the 1–2 most extreme jobs, which flips
+//!    on any completion-order change and measures tail noise, not
+//!    extrapolation bias (p99 stays in the table and the bench record).
+//! 2. **Raw throughput** — a steady fixed-schedule `Runner` workload
+//!    (no resampling) measures the ceiling: detailed vs fast
+//!    sim-cycles/sec on the hot `run_timeslice` path.
+//!
+//! CI gates (`--assert-ws-error`, `--assert-response-error`,
+//! `--assert-slowdown-error`, `--assert-speedup`, `--assert-raw-speedup`)
+//! exit 1 when a threshold's run lands outside the envelope; the
+//! `fastsim-accuracy` workflow job runs this with ±2% error bounds.
+//!
+//! `--bench-out FILE` appends one `kind:"fastsim"` JSON line per threshold
+//! (see `sos_bench::serve::FastSimBenchRecord`), conventionally to
+//! `BENCH_serve.json`.
+//!
+//! Usage: `fastsim-compare [--smt N] [--jobs N] [--mean-interarrival C]
+//! [--mean-length C] [--phased-fraction F] [--timeslice C] [--seed S]
+//! [--seeds N] [--thresholds F,F,...] [--raw-rotations N] [--bench-out FILE]
+//! [--assert-ws-error PCT] [--assert-response-error PCT]
+//! [--assert-slowdown-error PCT] [--assert-speedup X]
+//! [--assert-raw-speedup X]`
+
+use smtsim::{FastSimPolicy, MachineConfig};
+use sos_bench::serve::{FastSimBenchRecord, FASTSIM_BENCH_RECORD_VERSION};
+use sos_core::job::JobPool;
+use sos_core::online::{OnlineEngine, SchedulerKind};
+use sos_core::opensys::{arrival_trace, calibrate_benchmarks, JobArrival, OpenSystemConfig};
+use sos_core::report::{percentiles, Percentiles};
+use sos_core::runner::Runner;
+use sos_core::schedule::Schedule;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use workloads::spec::Benchmark;
+use workloads::JobSpec;
+
+struct Args {
+    smt: usize,
+    jobs: usize,
+    mean_interarrival: u64,
+    mean_length: u64,
+    phased_fraction: f64,
+    timeslice: u64,
+    seed: u64,
+    seeds: usize,
+    thresholds: Vec<f64>,
+    raw_rotations: usize,
+    bench_out: Option<PathBuf>,
+    assert_ws_error: Option<f64>,
+    assert_response_error: Option<f64>,
+    assert_slowdown_error: Option<f64>,
+    assert_speedup: Option<f64>,
+    assert_raw_speedup: Option<f64>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            smt: 4,
+            jobs: 120,
+            mean_interarrival: 400_000,
+            mean_length: 1_200_000,
+            phased_fraction: 0.25,
+            timeslice: 5_000,
+            seed: 42,
+            seeds: 1,
+            thresholds: vec![0.05, 0.10, 0.20],
+            raw_rotations: 400,
+            bench_out: None,
+            assert_ws_error: None,
+            assert_response_error: None,
+            assert_slowdown_error: None,
+            assert_speedup: None,
+            assert_raw_speedup: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--smt" => args.smt = num(&value("--smt")?, "--smt")?,
+            "--jobs" => args.jobs = num(&value("--jobs")?, "--jobs")?,
+            "--mean-interarrival" => {
+                args.mean_interarrival = num(&value("--mean-interarrival")?, "--mean-interarrival")?
+            }
+            "--mean-length" => args.mean_length = num(&value("--mean-length")?, "--mean-length")?,
+            "--phased-fraction" => {
+                args.phased_fraction = num(&value("--phased-fraction")?, "--phased-fraction")?
+            }
+            "--timeslice" => args.timeslice = num(&value("--timeslice")?, "--timeslice")?,
+            "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--seeds" => args.seeds = num(&value("--seeds")?, "--seeds")?,
+            "--thresholds" => {
+                let v = value("--thresholds")?;
+                args.thresholds = v
+                    .split(',')
+                    .map(|t| num(t.trim(), "--thresholds"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--raw-rotations" => {
+                args.raw_rotations = num(&value("--raw-rotations")?, "--raw-rotations")?
+            }
+            "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            "--assert-ws-error" => {
+                args.assert_ws_error = Some(num(&value("--assert-ws-error")?, "--assert-ws-error")?)
+            }
+            "--assert-response-error" => {
+                args.assert_response_error = Some(num(
+                    &value("--assert-response-error")?,
+                    "--assert-response-error",
+                )?)
+            }
+            "--assert-slowdown-error" => {
+                args.assert_slowdown_error = Some(num(
+                    &value("--assert-slowdown-error")?,
+                    "--assert-slowdown-error",
+                )?)
+            }
+            "--assert-speedup" => {
+                args.assert_speedup = Some(num(&value("--assert-speedup")?, "--assert-speedup")?)
+            }
+            "--assert-raw-speedup" => {
+                args.assert_raw_speedup = Some(num(
+                    &value("--assert-raw-speedup")?,
+                    "--assert-raw-speedup",
+                )?)
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.jobs == 0 || args.seeds == 0 || args.thresholds.is_empty() {
+        return Err("--jobs, --seeds and --thresholds must be non-zero".into());
+    }
+    if args.thresholds.iter().any(|&t| !(t > 0.0)) {
+        return Err("--thresholds entries must be positive".into());
+    }
+    Ok(args)
+}
+
+fn num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value {s:?} for {flag}"))
+}
+
+/// One open-system run's summary: everything the comparison table needs.
+/// Raw per-job vectors are kept so multi-seed runs can pool them before
+/// taking percentiles (percentiles of the pooled population are what
+/// fig5/fig6 report, and pooling is what makes tail comparisons stable).
+struct RunSummary {
+    wall_secs: f64,
+    /// Makespan in simulated cycles (identical across modes when the
+    /// extrapolator is faithful — the schedule stream is deterministic).
+    sim_cycles: u64,
+    /// Busy machine cycles (`timeslices × timeslice`).
+    busy_cycles: u64,
+    extrapolated_slices: u64,
+    timeslices: u64,
+    /// Solo-equivalent cycles of all completed jobs (WS numerator).
+    solo_cycles: f64,
+    responses: Vec<f64>,
+    slowdowns: Vec<f64>,
+}
+
+/// Pools per-seed runs of one mode into the aggregate the table compares.
+struct Pooled {
+    wall_secs: f64,
+    sim_cycles: u64,
+    extrapolated_slices: u64,
+    timeslices: u64,
+    ws: f64,
+    mean_response: f64,
+    response: Percentiles,
+    slowdown: Percentiles,
+}
+
+fn pool(runs: &[RunSummary]) -> Pooled {
+    let busy: u64 = runs.iter().map(|r| r.busy_cycles).sum();
+    let responses: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.responses.iter().copied())
+        .collect();
+    let slowdowns: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.slowdowns.iter().copied())
+        .collect();
+    Pooled {
+        wall_secs: runs.iter().map(|r| r.wall_secs).sum(),
+        sim_cycles: runs.iter().map(|r| r.sim_cycles).sum(),
+        extrapolated_slices: runs.iter().map(|r| r.extrapolated_slices).sum(),
+        timeslices: runs.iter().map(|r| r.timeslices).sum(),
+        ws: runs.iter().map(|r| r.solo_cycles).sum::<f64>() / busy.max(1) as f64,
+        mean_response: responses.iter().sum::<f64>() / responses.len().max(1) as f64,
+        response: percentiles(&responses),
+        slowdown: percentiles(&slowdowns),
+    }
+}
+
+/// Drives the canonical open-system loop (submit due arrivals, step while
+/// busy, jump idle gaps) against one engine and summarizes it.
+fn run_scenario(
+    cfg: &OpenSystemConfig,
+    trace: &[JobArrival],
+    solo: &HashMap<Benchmark, f64>,
+    fastsim: Option<FastSimPolicy>,
+) -> RunSummary {
+    let mut online = cfg.online();
+    online.fastsim = fastsim;
+    let mut engine = OnlineEngine::new(SchedulerKind::Sos, &online);
+    let started = Instant::now();
+    let mut completed = Vec::with_capacity(trace.len());
+    let mut next = 0usize;
+    while completed.len() < trace.len() {
+        while next < trace.len() && trace[next].arrival <= engine.now() {
+            engine.submit(trace[next].clone());
+            next += 1;
+        }
+        if engine.live_count() == 0 {
+            engine.jump_to(trace[next].arrival);
+            continue;
+        }
+        completed.extend(engine.step());
+    }
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let solo_ipc = |b: Benchmark| solo.get(&b).copied().unwrap_or(1.0).max(1e-9);
+    let responses: Vec<f64> = completed.iter().map(|r| r.response() as f64).collect();
+    let slowdowns: Vec<f64> = completed
+        .iter()
+        .map(|r| {
+            r.response() as f64 / (r.arrival.instructions as f64 / solo_ipc(r.arrival.benchmark))
+        })
+        .collect();
+    let solo_total: f64 = completed
+        .iter()
+        .map(|r| r.arrival.instructions as f64 / solo_ipc(r.arrival.benchmark))
+        .sum();
+    let busy_cycles = engine.timeslices() * online.timeslice;
+    RunSummary {
+        wall_secs,
+        sim_cycles: engine.now(),
+        busy_cycles,
+        extrapolated_slices: engine
+            .fastsim_counters()
+            .map(|c| c.extrapolated_slices)
+            .unwrap_or(0),
+        timeslices: engine.timeslices(),
+        solo_cycles: solo_total,
+        responses,
+        slowdowns,
+    }
+}
+
+/// Relative error of `fast` against `detail`, as a fraction.
+fn rel_err(fast: f64, detail: f64) -> f64 {
+    if detail == 0.0 {
+        if fast == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (fast - detail).abs() / detail.abs()
+    }
+}
+
+/// Raw-throughput ceiling: a steady 8-job pool on a fixed round-robin
+/// schedule (no resampling machinery), detailed vs fast. Returns
+/// `(detail_cps, fast_cps, extrapolated_fraction)` in sim-cycles/sec.
+fn raw_throughput(smt: usize, timeslice: u64, rotations: usize, seed: u64) -> (f64, f64, f64) {
+    let specs: Vec<JobSpec> = [
+        Benchmark::Fp,
+        Benchmark::Gcc,
+        Benchmark::Mg,
+        Benchmark::Go,
+        Benchmark::Swim,
+        Benchmark::Is,
+        Benchmark::Array,
+        Benchmark::Fp,
+    ]
+    .iter()
+    .map(|&b| JobSpec::single(b))
+    .collect();
+    let y = smt.clamp(1, specs.len());
+    let schedule = Schedule::new((0..specs.len()).collect(), y, y);
+    let run = |fast: bool| {
+        let pool = JobPool::from_specs(&specs, seed);
+        let mut runner = Runner::new(MachineConfig::alpha21264_like(smt), pool, timeslice);
+        if fast {
+            runner.set_fastsim(Some(FastSimPolicy::default()));
+        }
+        // One warmup rotation so cold caches don't bill the detailed run.
+        let _ = runner.run_schedule(&schedule, 1);
+        let started = Instant::now();
+        let rots = runner.run_schedule(&schedule, rotations);
+        let wall = started.elapsed().as_secs_f64();
+        let cycles: u64 = rots.iter().map(|r| r.cycles()).sum();
+        if let Some(c) = runner.fastsim_counters() {
+            eprintln!(
+                "# raw fast run: {} detailed / {} extrapolated slices, {} locks, {} fallbacks, {} resamples ok, {} resyncs",
+                c.detailed_slices,
+                c.extrapolated_slices,
+                c.phase_locks,
+                c.fallbacks,
+                c.resamples_ok,
+                c.resyncs
+            );
+        }
+        let extrap = runner
+            .fastsim_counters()
+            .map(|c| c.extrapolated_fraction())
+            .unwrap_or(0.0);
+        (cycles as f64 / wall.max(1e-9), extrap)
+    };
+    let (detail_cps, _) = run(false);
+    let (fast_cps, extrap) = run(true);
+    (detail_cps, fast_cps, extrap)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fastsim-compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    sos_bench::init_cache();
+
+    // One scenario per seed: same shape, independent arrival traces. The
+    // table compares the pooled populations.
+    let mut scenarios = Vec::new();
+    for i in 0..args.seeds {
+        let mut cfg = OpenSystemConfig::scaled(args.smt);
+        cfg.mean_job_cycles = args.mean_length;
+        cfg.mean_interarrival = args.mean_interarrival;
+        cfg.timeslice = args.timeslice;
+        cfg.num_jobs = args.jobs;
+        cfg.phased_fraction = args.phased_fraction;
+        cfg.predictor = sos_core::PredictorKind::Ipc;
+        cfg.seed = args.seed + 9973 * i as u64;
+        let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
+        let trace = arrival_trace(&cfg, &solo);
+        scenarios.push((cfg, trace, solo));
+    }
+    let total_jobs: usize = scenarios.iter().map(|(_, t, _)| t.len()).sum();
+
+    eprintln!(
+        "# fastsim-compare: SMT {}, {} jobs over {} seed(s) from {}: full detail first ...",
+        args.smt, total_jobs, args.seeds, args.seed
+    );
+    let detail_runs: Vec<RunSummary> = scenarios
+        .iter()
+        .map(|(cfg, trace, solo)| run_scenario(cfg, trace, solo, None))
+        .collect();
+    let detail = pool(&detail_runs);
+    println!(
+        "full detail: wall {:.2}s  {:.2}M sim-cycles/s  WS {:.4}  mean response {:.0}  p99 {:.0}  slowdown p99 {:.3}",
+        detail.wall_secs,
+        detail.sim_cycles as f64 / detail.wall_secs.max(1e-9) / 1e6,
+        detail.ws,
+        detail.mean_response,
+        detail.response.p99,
+        detail.slowdown.p99
+    );
+    println!();
+    println!(
+        "{:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "threshold",
+        "speedup",
+        "extrap%",
+        "WSerr%",
+        "meanRTe%",
+        "p95RTe%",
+        "p99RTe%",
+        "p95SDe%",
+        "p99SDe%",
+        "cyc-err"
+    );
+
+    let mut failures = Vec::new();
+    for &threshold in &args.thresholds {
+        let policy = FastSimPolicy::with_threshold(threshold);
+        let fast_runs: Vec<RunSummary> = scenarios
+            .iter()
+            .map(|(cfg, trace, solo)| run_scenario(cfg, trace, solo, Some(policy.clone())))
+            .collect();
+        let fast = pool(&fast_runs);
+        let speedup = detail.wall_secs / fast.wall_secs.max(1e-9);
+        let extrap_pct = 100.0 * fast.extrapolated_slices as f64 / fast.timeslices.max(1) as f64;
+        let ws_err = rel_err(fast.ws, detail.ws);
+        let mean_rt_err = rel_err(fast.mean_response, detail.mean_response);
+        let p95_rt_err = rel_err(fast.response.p95, detail.response.p95);
+        let p99_rt_err = rel_err(fast.response.p99, detail.response.p99);
+        let p95_sd_err = rel_err(fast.slowdown.p95, detail.slowdown.p95);
+        let p99_sd_err = rel_err(fast.slowdown.p99, detail.slowdown.p99);
+        let cycle_err = rel_err(fast.sim_cycles as f64, detail.sim_cycles as f64);
+        println!(
+            "{:>9.3} {:>7.2}x {:>7.1}% {:>8.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.4}",
+            threshold,
+            speedup,
+            extrap_pct,
+            100.0 * ws_err,
+            100.0 * mean_rt_err,
+            100.0 * p95_rt_err,
+            100.0 * p99_rt_err,
+            100.0 * p95_sd_err,
+            100.0 * p99_sd_err,
+            cycle_err
+        );
+
+        let mut check = |name: &str, bound_pct: Option<f64>, err: f64| {
+            if let Some(b) = bound_pct {
+                if 100.0 * err > b {
+                    failures.push(format!(
+                        "threshold {threshold}: {name} error {:.3}% exceeds ±{b}%",
+                        100.0 * err
+                    ));
+                }
+            }
+        };
+        check("WS", args.assert_ws_error, ws_err);
+        check("mean response", args.assert_response_error, mean_rt_err);
+        check("p95 response", args.assert_response_error, p95_rt_err);
+        check("p95 slowdown", args.assert_slowdown_error, p95_sd_err);
+        if let Some(min) = args.assert_speedup {
+            if speedup < min {
+                failures.push(format!(
+                    "threshold {threshold}: end-to-end speedup {speedup:.2}x below {min}x"
+                ));
+            }
+        }
+
+        if let Some(path) = &args.bench_out {
+            let record = FastSimBenchRecord {
+                schema: FASTSIM_BENCH_RECORD_VERSION,
+                kind: "fastsim".to_string(),
+                unix_secs: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0),
+                seed: args.seed,
+                jobs: total_jobs as u64,
+                fastsim: policy.describe(),
+                detail_wall_secs: detail.wall_secs,
+                fast_wall_secs: fast.wall_secs,
+                speedup,
+                detail_sim_cycles_per_sec: detail.sim_cycles as f64 / detail.wall_secs.max(1e-9),
+                fast_sim_cycles_per_sec: fast.sim_cycles as f64 / fast.wall_secs.max(1e-9),
+                extrapolated_fraction: fast.extrapolated_slices as f64
+                    / fast.timeslices.max(1) as f64,
+                detail_ws: detail.ws,
+                fast_ws: fast.ws,
+                ws_rel_error: ws_err,
+                response_rel_error: mean_rt_err,
+                response_p95_rel_error: p95_rt_err,
+                response_p99_rel_error: p99_rt_err,
+                slowdown_p95_rel_error: p95_sd_err,
+                slowdown_p99_rel_error: p99_sd_err,
+            };
+            if let Err(e) = record.append_to(path) {
+                eprintln!("fastsim-compare: bench-out {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!();
+    let (detail_cps, fast_cps, extrap) =
+        raw_throughput(args.smt, args.timeslice, args.raw_rotations, args.seed);
+    let raw_speedup = fast_cps / detail_cps.max(1e-9);
+    println!(
+        "raw runner throughput: detailed {:.2}M cycles/s  fast {:.2}M cycles/s  speedup {:.1}x  ({:.1}% slices extrapolated)",
+        detail_cps / 1e6,
+        fast_cps / 1e6,
+        raw_speedup,
+        100.0 * extrap
+    );
+    if let Some(min) = args.assert_raw_speedup {
+        if raw_speedup < min {
+            failures.push(format!(
+                "raw runner speedup {raw_speedup:.1}x below required {min}x"
+            ));
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("fastsim-compare: FAILED");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("fastsim-compare: all assertions passed");
+}

@@ -7,8 +7,15 @@
 //! schedulers see the identical arrival trace) and averaged over several
 //! seeds.
 //!
-//! Usage: `cargo run --release -p sos-bench --bin fig5 [cycle_scale] [num_jobs] [seeds]`
+//! Usage: `cargo run --release -p sos-bench --bin fig5 [cycle_scale] [num_jobs] [seeds]
+//! [--fast] [--fast-threshold F]`
+//!
+//! `--fast` runs both schedulers under phase-aware sampled fast simulation
+//! (`--fast-threshold` sets the phase-stability threshold and implies
+//! `--fast`). Without it, every timeslice executes in full detail and the
+//! output is byte-identical to earlier revisions.
 
+use smtsim::FastSimPolicy;
 use sos_core::opensys::{
     arrival_trace, calibrate_benchmarks, measure_capacity, run_open_system_on_trace,
     OpenSystemConfig, SchedulerKind,
@@ -16,24 +23,44 @@ use sos_core::opensys::{
 use sos_core::report::percentiles;
 
 fn main() {
+    // Strip the fast-sim flags before positional parsing so
+    // `fig5 6000 --fast` and `fig5 --fast 6000` both work.
+    let mut positional = Vec::new();
+    let mut fast = false;
+    let mut fast_threshold: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--fast-threshold" => {
+                fast = true;
+                fast_threshold = it.next().and_then(|v| v.parse().ok());
+            }
+            _ => positional.push(a),
+        }
+    }
+    let fastsim = fast.then(|| match fast_threshold {
+        Some(t) => FastSimPolicy::with_threshold(t),
+        None => FastSimPolicy::default(),
+    });
     // Open-system runs are long; default to a smaller scale than the
     // closed-system experiments.
-    let scale: u64 = std::env::args()
-        .nth(1)
+    let scale: u64 = positional
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(6000);
-    let num_jobs: usize = std::env::args()
-        .nth(2)
+    let num_jobs: usize = positional
+        .get(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(120);
-    let seeds: u64 = std::env::args()
-        .nth(3)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let seeds: u64 = positional.get(2).and_then(|a| a.parse().ok()).unwrap_or(3);
     sos_bench::init_cache();
     eprintln!(
         "# open system at 1/{scale} paper scale, {num_jobs} jobs x {seeds} seeds per level ..."
     );
+    if let Some(p) = &fastsim {
+        eprintln!("# fastsim: {}", p.describe());
+    }
 
     println!("Figure 5 — response-time improvement of SOS over a random scheduler");
     println!(
@@ -60,6 +87,7 @@ fn main() {
             // EXPERIMENTS.md); the paper likewise ran SOS with its best.
             cfg.predictor = sos_core::PredictorKind::Ipc;
             cfg.seed = 0xF150 + 7919 * seed;
+            cfg.fastsim = fastsim.clone();
             let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
             // Self-calibrate against the capacity this seed's job population
             // actually sustains, then offer ~115% of it: over the finite

@@ -6,8 +6,15 @@
 //! is a matched-pair comparison (identical arrival traces) averaged over
 //! several seeds.
 //!
-//! Usage: `cargo run --release -p sos-bench --bin fig6 [cycle_scale] [num_jobs] [seeds]`
+//! Usage: `cargo run --release -p sos-bench --bin fig6 [cycle_scale] [num_jobs] [seeds]
+//! [--fast] [--fast-threshold F]`
+//!
+//! `--fast` runs both schedulers under phase-aware sampled fast simulation
+//! (`--fast-threshold` sets the phase-stability threshold and implies
+//! `--fast`). Without it, every timeslice executes in full detail and the
+//! output is byte-identical to earlier revisions.
 
+use smtsim::FastSimPolicy;
 use sos_core::opensys::{
     arrival_trace, calibrate_benchmarks, measure_capacity, run_open_system_on_trace,
     OpenSystemConfig, SchedulerKind,
@@ -15,18 +22,35 @@ use sos_core::opensys::{
 use sos_core::report::percentiles;
 
 fn main() {
-    let scale: u64 = std::env::args()
-        .nth(1)
+    // Strip the fast-sim flags before positional parsing so
+    // `fig6 6000 --fast` and `fig6 --fast 6000` both work.
+    let mut positional = Vec::new();
+    let mut fast = false;
+    let mut fast_threshold: Option<f64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--fast-threshold" => {
+                fast = true;
+                fast_threshold = it.next().and_then(|v| v.parse().ok());
+            }
+            _ => positional.push(a),
+        }
+    }
+    let fastsim = fast.then(|| match fast_threshold {
+        Some(t) => FastSimPolicy::with_threshold(t),
+        None => FastSimPolicy::default(),
+    });
+    let scale: u64 = positional
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(6000);
-    let num_jobs: usize = std::env::args()
-        .nth(2)
+    let num_jobs: usize = positional
+        .get(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(120);
-    let seeds: u64 = std::env::args()
-        .nth(3)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(3);
+    let seeds: u64 = positional.get(2).and_then(|a| a.parse().ok()).unwrap_or(3);
     let smt = 3usize;
     let mean_job_cycles = 2_000_000_000 / scale.max(1);
     // Offered load as a fraction of measured capacity; λ = T / (ρ · capacity).
@@ -34,6 +58,9 @@ fn main() {
 
     sos_bench::init_cache();
     eprintln!("# open system at SMT 3, 1/{scale} paper scale, {num_jobs} jobs x {seeds} seeds ...");
+    if let Some(p) = &fastsim {
+        eprintln!("# fastsim: {}", p.describe());
+    }
     println!("Figure 6 — response-time improvement vs arrival rate (SMT 3)");
     println!(
         "{:<8} {:<14} {:>16} {:>16} {:>13}",
@@ -56,6 +83,7 @@ fn main() {
             cfg.num_jobs = num_jobs;
             cfg.predictor = sos_core::PredictorKind::Ipc;
             cfg.seed = 0xF166 + 104_729 * seed;
+            cfg.fastsim = fastsim.clone();
             let solo = calibrate_benchmarks(cfg.smt, cfg.calibration_cycles, cfg.seed);
             let capacity = measure_capacity(&cfg, &solo, 24);
             cfg.mean_interarrival = (mean_job_cycles as f64 / (rho * capacity)) as u64;

@@ -14,7 +14,12 @@
 //! [--jobs N] [--mean-interarrival CYCLES] [--mean-length CYCLES]
 //! [--phased-fraction F] [--seed S] [--smt N] [--timeslice CYCLES]
 //! [--slices-per-round N] [--rebalance-every N] [--steal-threshold N]
+//! [--fast] [--fast-threshold F]
 //! [--bench-out FILE] [--report-out FILE] [--prom-out FILE]`
+//!
+//! `--fast` turns on phase-aware sampled fast simulation in every shard
+//! engine (`--fast-threshold` sets the phase-stability threshold and
+//! implies `--fast`); the policy is echoed in the report and bench record.
 //!
 //! The run is byte-reproducible for a fixed seed and shard count:
 //! `--report-out` writes a deterministic `ClusterReport` JSON (no
@@ -25,6 +30,7 @@
 //! metrics hub (per-shard queue/clock gauges, migration counters,
 //! response/slowdown histograms).
 
+use smtsim::FastSimPolicy;
 use sos_bench::serve::{ClusterBenchRecord, CLUSTER_BENCH_RECORD_VERSION};
 use sos_core::cluster::{run_cluster_on_trace, ClusterConfig, ClusterEngine, DispatchPolicy};
 use sos_core::metrics::MetricsHub;
@@ -52,6 +58,8 @@ struct Args {
     slices_per_round: u64,
     rebalance_every: u64,
     steal_threshold: usize,
+    fast: bool,
+    fast_threshold: Option<f64>,
     bench_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
     prom_out: Option<PathBuf>,
@@ -76,6 +84,8 @@ impl Default for Args {
             slices_per_round: 8,
             rebalance_every: 8,
             steal_threshold: 4,
+            fast: false,
+            fast_threshold: None,
             bench_out: None,
             report_out: None,
             prom_out: None,
@@ -130,6 +140,11 @@ fn parse_args() -> Result<Args, String> {
             "--steal-threshold" => {
                 args.steal_threshold = num(&value("--steal-threshold")?, "--steal-threshold")?
             }
+            "--fast" => args.fast = true,
+            "--fast-threshold" => {
+                args.fast = true;
+                args.fast_threshold = Some(num(&value("--fast-threshold")?, "--fast-threshold")?);
+            }
             "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
             "--report-out" => args.report_out = Some(PathBuf::from(value("--report-out")?)),
             "--prom-out" => args.prom_out = Some(PathBuf::from(value("--prom-out")?)),
@@ -173,6 +188,14 @@ fn main() {
         &solo,
     );
 
+    let fastsim = if args.fast {
+        Some(match args.fast_threshold {
+            Some(t) => FastSimPolicy::with_threshold(t),
+            None => FastSimPolicy::default(),
+        })
+    } else {
+        None
+    };
     let shard = OnlineConfig {
         smt: args.smt,
         timeslice: args.timeslice,
@@ -181,6 +204,7 @@ fn main() {
         drift_threshold: Some(0.35),
         base_interval: args.base_interval,
         seed: args.seed,
+        fastsim,
     };
     let mut cfg = ClusterConfig::new(args.shards, args.dispatch, args.policy, shard);
     cfg.slices_per_round = args.slices_per_round;
@@ -199,6 +223,9 @@ fn main() {
         args.jobs,
         args.seed
     );
+    if let Some(p) = &cfg.shard.fastsim {
+        println!("# fastsim: {}", p.describe());
+    }
     let started = Instant::now();
     let departed = run_cluster_on_trace(&mut engine, &trace.jobs, u64::MAX);
     let wall_secs = started.elapsed().as_secs_f64();
@@ -234,6 +261,14 @@ fn main() {
         args.shards,
         sim_cycles as f64 / wall_secs.max(1e-9) / 1e6
     );
+    if report.fastsim.is_some() {
+        println!(
+            "fastsim: {}/{} busy timeslices extrapolated ({:.1}%)",
+            report.extrapolated_slices,
+            report.timeslices,
+            100.0 * report.extrapolated_slices as f64 / report.timeslices.max(1) as f64
+        );
+    }
     println!("shard  submitted  migr-in  migr-out  completed  timeslices  depth");
     for s in &report.per_shard {
         println!(
@@ -299,6 +334,11 @@ fn main() {
             },
             response: report.response,
             slowdown: report.slowdown,
+            fastsim: report.fastsim.clone(),
+            extrapolated_slices: report
+                .fastsim
+                .is_some()
+                .then_some(report.extrapolated_slices),
         };
         match record.append_to(path) {
             Ok(()) => println!(

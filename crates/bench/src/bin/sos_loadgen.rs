@@ -13,7 +13,12 @@
 //! Usage: `sos-loadgen [--addr HOST:PORT] [--jobs N]
 //! [--mean-interarrival CYCLES] [--mean-length CYCLES]
 //! [--phased-fraction F] [--seed S] [--pace CYCLES_PER_MS] [--no-shutdown]
-//! [--bench-out FILE]`
+//! [--fast] [--fast-threshold F] [--bench-out FILE]`
+//!
+//! `--fast` asks the daemon (via the `fastsim` verb) to run under
+//! phase-aware sampled fast simulation before offering load;
+//! `--fast-threshold` sets the phase-stability threshold and implies
+//! `--fast`. The daemon's active policy is echoed in the bench record.
 //!
 //! Job lengths are submitted in solo *cycles*; the daemon converts them to
 //! instructions with its own calibrated solo IPC. `--pace` maps trace
@@ -46,6 +51,8 @@ struct Args {
     pace: u64,
     retry_ms: u64,
     shutdown: bool,
+    fast: bool,
+    fast_threshold: Option<f64>,
     bench_out: Option<PathBuf>,
 }
 
@@ -61,6 +68,8 @@ impl Default for Args {
             pace: 0,
             retry_ms: 2,
             shutdown: true,
+            fast: false,
+            fast_threshold: None,
             bench_out: None,
         }
     }
@@ -85,6 +94,11 @@ fn parse_args() -> Result<Args, String> {
             "--pace" => args.pace = num(&value("--pace")?, "--pace")?,
             "--retry-ms" => args.retry_ms = num(&value("--retry-ms")?, "--retry-ms")?,
             "--no-shutdown" => args.shutdown = false,
+            "--fast" => args.fast = true,
+            "--fast-threshold" => {
+                args.fast = true;
+                args.fast_threshold = Some(num(&value("--fast-threshold")?, "--fast-threshold")?);
+            }
             "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -128,6 +142,32 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Ask the daemon to switch into fast simulation before offering load;
+    // the echoed status confirms the active policy.
+    let mut fastsim_policy = None;
+    if args.fast {
+        match client.request(&Request::fastsim(true, args.fast_threshold)) {
+            Ok(resp) if resp.ok => {
+                fastsim_policy = resp.status.and_then(|s| s.fastsim);
+                println!(
+                    "# fastsim on: {}",
+                    fastsim_policy.as_deref().unwrap_or("(default policy)")
+                );
+            }
+            Ok(resp) => {
+                eprintln!(
+                    "sos-loadgen: fastsim refused: {}",
+                    resp.error.as_deref().unwrap_or("unknown error")
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("sos-loadgen: fastsim failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let started = Instant::now();
     let start_cycles = now_cycles(&mut client);
@@ -279,6 +319,12 @@ fn main() {
             slowdown: stats.slowdown,
             slo_response_attainment: slo_response,
             slo_slowdown_attainment: slo_slowdown,
+            fastsim: fastsim_policy.clone(),
+            extrapolated_slices: client
+                .request(&Request::verb("status"))
+                .ok()
+                .and_then(|r| r.status)
+                .and_then(|s| s.extrapolated_slices),
         };
         match record.append_to(path) {
             Ok(()) => println!(

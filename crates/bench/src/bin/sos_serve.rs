@@ -30,15 +30,22 @@
 //!   recorded as Perfetto-compatible spans and written as a Chrome trace
 //!   at shutdown.
 //!
+//! * **Fast simulation** — `--fast` (optionally `--fast-threshold F`)
+//!   starts the engine with phase-aware sampled fast simulation; the
+//!   `fastsim` verb toggles it at runtime, and `status` echoes the active
+//!   policy plus the extrapolated-timeslice count.
+//!
 //! Usage: `sos-serve [--port P] [--policy sos|naive] [--smt N]
 //! [--queue-cap N] [--timeslice C] [--snapshot-dir DIR]
-//! [--snapshot-every N] [--seed S] [--metrics FILE] [--trace FILE]
+//! [--snapshot-every N] [--seed S] [--fast] [--fast-threshold F]
+//! [--metrics FILE] [--trace FILE]
 //! [--slo-response CYCLES] [--slo-slowdown X] [--slo-objective F]
 //! [--metrics-window CYCLES]`
 //!
 //! The daemon prints `sos-serve listening on ADDR` once ready (with
 //! `--port 0` the OS picks the port; parse it from this line).
 
+use smtsim::FastSimPolicy;
 use sos_bench::serve::{
     CompletedJob, MetricsReply, Request, Response, Snapshot, StatsReply, StatusReply,
 };
@@ -58,7 +65,9 @@ use std::time::{Duration, Instant};
 use workloads::spec::Benchmark;
 
 /// The protocol verbs with per-verb request counters and latency series.
-const VERBS: [&str; 6] = ["submit", "status", "stats", "metrics", "drain", "shutdown"];
+const VERBS: [&str; 7] = [
+    "submit", "status", "stats", "metrics", "fastsim", "drain", "shutdown",
+];
 
 struct Args {
     port: u16,
@@ -70,6 +79,8 @@ struct Args {
     base_interval: u64,
     calibration_cycles: u64,
     seed: u64,
+    fast: bool,
+    fast_threshold: Option<f64>,
     snapshot_dir: PathBuf,
     snapshot_every: u64,
     metrics: Option<PathBuf>,
@@ -92,6 +103,8 @@ impl Default for Args {
             base_interval: 500_000,
             calibration_cycles: 60_000,
             seed: 0x5E54E,
+            fast: false,
+            fast_threshold: None,
             snapshot_dir: PathBuf::from("results/serve"),
             snapshot_every: 16,
             metrics: None,
@@ -130,6 +143,11 @@ fn parse_args() -> Result<Args, String> {
                     num(&value("--calibration-cycles")?, "--calibration-cycles")?
             }
             "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
+            "--fast" => args.fast = true,
+            "--fast-threshold" => {
+                args.fast = true;
+                args.fast_threshold = Some(num(&value("--fast-threshold")?, "--fast-threshold")?);
+            }
             "--snapshot-dir" => args.snapshot_dir = PathBuf::from(value("--snapshot-dir")?),
             "--snapshot-every" => {
                 args.snapshot_every = num(&value("--snapshot-every")?, "--snapshot-every")?
@@ -160,6 +178,11 @@ fn parse_args() -> Result<Args, String> {
     let slowdown_ok = args.slo_slowdown > 0.0; // false for NaN too
     if !slowdown_ok || args.slo_response == 0 || args.metrics_window == 0 {
         return Err("--slo-response, --slo-slowdown, and --metrics-window must be positive".into());
+    }
+    if let Some(t) = args.fast_threshold {
+        if !(t > 0.0) {
+            return Err("--fast-threshold must be positive".into());
+        }
     }
     Ok(args)
 }
@@ -273,6 +296,7 @@ impl Daemon {
             "status" => Some(self.handle_status()),
             "stats" => Some(self.handle_stats()),
             "metrics" => Some(self.handle_metrics()),
+            "fastsim" => Some(self.handle_fastsim(&msg.req)),
             "drain" | "shutdown" => {
                 self.draining = true;
                 if msg.req.cmd == "shutdown" {
@@ -289,7 +313,7 @@ impl Daemon {
             other => {
                 self.sm.err_unknown_cmd.inc();
                 Some(Response::err(format!(
-                    "unknown cmd {other:?} (submit|status|stats|metrics|drain|shutdown)"
+                    "unknown cmd {other:?} (submit|status|stats|metrics|fastsim|drain|shutdown)"
                 )))
             }
         };
@@ -368,8 +392,34 @@ impl Daemon {
             now_cycles: self.engine.now(),
             draining: self.draining,
             restored: self.restored,
+            fastsim: self.engine.fastsim_policy().map(|p| p.describe()),
+            extrapolated_slices: self
+                .engine
+                .fastsim_counters()
+                .map(|c| c.extrapolated_slices),
         });
         r
+    }
+
+    /// Answers the `fastsim` verb: switches phase-aware sampled fast
+    /// simulation on or off at runtime and echoes the new status. Detailed
+    /// re-sampling restarts from scratch after every toggle (phase state is
+    /// rebuilt, never carried across policies).
+    fn handle_fastsim(&mut self, req: &Request) -> Response {
+        let enable = req.fast.unwrap_or(true);
+        let policy = if enable {
+            Some(match req.fast_threshold {
+                Some(t) if t > 0.0 => FastSimPolicy::with_threshold(t),
+                Some(t) => {
+                    return Response::err(format!("fast_threshold must be positive, got {t}"))
+                }
+                None => FastSimPolicy::default(),
+            })
+        } else {
+            None
+        };
+        self.engine.set_fastsim(policy);
+        self.handle_status()
     }
 
     fn handle_stats(&mut self) -> Response {
@@ -574,6 +624,14 @@ fn main() {
     );
     let sm = ServeMetrics::register(&hub);
 
+    let fastsim = if args.fast {
+        Some(match args.fast_threshold {
+            Some(t) => FastSimPolicy::with_threshold(t),
+            None => FastSimPolicy::default(),
+        })
+    } else {
+        None
+    };
     let cfg = OnlineConfig {
         smt: args.smt,
         timeslice: args.timeslice,
@@ -582,7 +640,11 @@ fn main() {
         drift_threshold: Some(0.35),
         base_interval: args.base_interval,
         seed: args.seed,
+        fastsim,
     };
+    if let Some(p) = &cfg.fastsim {
+        eprintln!("# sos-serve: fastsim on ({})", p.describe());
+    }
     let mut engine = OnlineEngine::new(args.policy, &cfg);
     engine.attach_metrics(EngineMetrics::register(&hub));
     if args.trace.is_some() {

@@ -16,6 +16,9 @@
 //!   `sos_core::metrics::MetricsSnapshot` (counters, gauges, windowed
 //!   histograms with p50/p95/p99/p999, SLO attainment and burn rate) plus a
 //!   Prometheus-style text exposition. Polled by `sos-top`.
+//! * `fastsim` — toggle phase-aware sampled fast simulation at runtime
+//!   (`fast` plus optional `fast_threshold`); replies with the active
+//!   policy echoed in `status`.
 //! * `drain` — stop admitting; the reply is deferred until every in-flight
 //!   job has completed.
 //! * `shutdown` — drain, snapshot, reply, and exit 0.
@@ -58,6 +61,14 @@ pub struct Request {
     pub instructions: Option<u64>,
     /// Whether the job is strongly phased.
     pub phased: Option<bool>,
+    /// For the `fastsim` verb: enable (`true`) or disable (`false`)
+    /// phase-aware sampled fast simulation. Absent in older clients.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fast: Option<bool>,
+    /// For the `fastsim` verb: phase-stability threshold (relative counter
+    /// deviation); defaults to the engine's built-in policy when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fast_threshold: Option<f64>,
 }
 
 impl Request {
@@ -69,6 +80,18 @@ impl Request {
             cycles: None,
             instructions: None,
             phased: None,
+            fast: None,
+            fast_threshold: None,
+        }
+    }
+
+    /// A `fastsim` request enabling or disabling fast simulation, with an
+    /// optional stability threshold.
+    pub fn fastsim(fast: bool, threshold: Option<f64>) -> Self {
+        Request {
+            fast: Some(fast),
+            fast_threshold: threshold,
+            ..Request::verb("fastsim")
         }
     }
 
@@ -80,6 +103,8 @@ impl Request {
             cycles: Some(cycles),
             instructions: None,
             phased: Some(phased),
+            fast: None,
+            fast_threshold: None,
         }
     }
 }
@@ -107,6 +132,15 @@ pub struct StatusReply {
     pub draining: bool,
     /// Completed jobs restored from a snapshot at startup.
     pub restored: u64,
+    /// The active fast-sim policy (`smtsim::FastSimPolicy::describe`),
+    /// `None` when every timeslice runs in full detail. Absent in replies
+    /// from older daemons.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<String>,
+    /// Timeslices synthesized by fast-sim extrapolation so far. Absent in
+    /// replies from older daemons.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub extrapolated_slices: Option<u64>,
 }
 
 /// Latency section of a `stats` reply.
@@ -314,6 +348,13 @@ pub struct BenchRecord {
     pub slo_response_attainment: f64,
     /// `serve.slowdown_x100` SLO attainment at drain (NaN when unavailable).
     pub slo_slowdown_attainment: f64,
+    /// The fast-sim policy the daemon ran under
+    /// (`smtsim::FastSimPolicy::describe`), `None`/absent for full detail.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<String>,
+    /// Timeslices the daemon synthesized by extrapolation during the run.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub extrapolated_slices: Option<u64>,
 }
 
 impl BenchRecord {
@@ -371,9 +412,79 @@ pub struct ClusterBenchRecord {
     pub response: Percentiles,
     /// Exact slowdown percentiles.
     pub slowdown: Percentiles,
+    /// The shard fast-sim policy (`smtsim::FastSimPolicy::describe`),
+    /// `None`/absent for full detail.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<String>,
+    /// Timeslices synthesized by extrapolation across all shards.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub extrapolated_slices: Option<u64>,
 }
 
 impl ClusterBenchRecord {
+    /// Appends the record as one JSON line to `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        append_json_line(self, path)
+    }
+}
+
+/// Current [`FastSimBenchRecord`] schema version.
+pub const FASTSIM_BENCH_RECORD_VERSION: u32 = 1;
+
+/// One fast-sim accuracy/speedup record, appended as a JSON line to
+/// `BENCH_serve.json` by `fastsim-compare --bench-out`. Distinguished from
+/// the other record kinds by its `kind:"fastsim"` field. Captures a
+/// detailed-vs-extrapolated pair of runs of the same seeded open-system
+/// scenario, so the speedup-versus-error trajectory is comparable across
+/// PRs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FastSimBenchRecord {
+    /// Schema version ([`FASTSIM_BENCH_RECORD_VERSION`]).
+    pub schema: u32,
+    /// Record discriminator, always `"fastsim"`.
+    pub kind: String,
+    /// Wall-clock record time (seconds since the Unix epoch).
+    pub unix_secs: u64,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Jobs in the offered trace.
+    pub jobs: u64,
+    /// The fast-sim policy under test (`smtsim::FastSimPolicy::describe`).
+    pub fastsim: String,
+    /// Wall time of the full-detail run, seconds.
+    pub detail_wall_secs: f64,
+    /// Wall time of the fast run, seconds.
+    pub fast_wall_secs: f64,
+    /// `detail_wall_secs / fast_wall_secs` — same simulated cycles both
+    /// ways, so this is also the sim-cycles/sec speedup.
+    pub speedup: f64,
+    /// Simulated cycles per wall second, full detail.
+    pub detail_sim_cycles_per_sec: f64,
+    /// Simulated cycles per wall second, fast mode.
+    pub fast_sim_cycles_per_sec: f64,
+    /// Fraction of busy timeslices the fast run extrapolated (0..1).
+    pub extrapolated_fraction: f64,
+    /// Aggregate weighted speedup, full detail.
+    pub detail_ws: f64,
+    /// Aggregate weighted speedup, fast mode.
+    pub fast_ws: f64,
+    /// `|fast_ws - detail_ws| / detail_ws`.
+    pub ws_rel_error: f64,
+    /// Relative error of the mean response time.
+    pub response_rel_error: f64,
+    /// Relative error of the p95 response time (the CI-gated percentile —
+    /// p99 over a few hundred jobs is tail noise).
+    pub response_p95_rel_error: f64,
+    /// Relative error of the p99 response time (informational).
+    pub response_p99_rel_error: f64,
+    /// Relative error of the p95 slowdown (CI-gated).
+    pub slowdown_p95_rel_error: f64,
+    /// Relative error of the p99 slowdown (informational).
+    pub slowdown_p99_rel_error: f64,
+}
+
+impl FastSimBenchRecord {
     /// Appends the record as one JSON line to `path`, creating the file if
     /// needed.
     pub fn append_to(&self, path: &Path) -> std::io::Result<()> {

@@ -171,6 +171,9 @@ enum Reply {
         live: usize,
         now: u64,
         timeslices: u64,
+        /// Cumulative timeslices the shard synthesized via fast-sim
+        /// extrapolation (0 when fast-sim is off).
+        extrapolated: u64,
     },
     Reclaimed(Vec<JobArrival>),
 }
@@ -195,6 +198,10 @@ pub struct ShardReport {
     /// Timeslices this shard actually simulated (busy slices, not idle
     /// jumps).
     pub timeslices: u64,
+    /// Of those, timeslices synthesized by fast-sim extrapolation rather
+    /// than detailed execution (0 when fast-sim is off).
+    #[serde(default)]
+    pub extrapolated_slices: u64,
     /// The shard clock at the end of the run.
     pub now_cycles: u64,
     /// Jobs still resident at report time.
@@ -226,6 +233,14 @@ pub struct ClusterReport {
     pub migrations: u64,
     /// Total busy timeslices across shards.
     pub timeslices: u64,
+    /// Of those, timeslices synthesized by fast-sim extrapolation across
+    /// shards (0 when fast-sim is off).
+    #[serde(default)]
+    pub extrapolated_slices: u64,
+    /// The shard fast-sim policy in effect, if any (see
+    /// [`smtsim::FastSimPolicy::describe`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<String>,
     /// Cluster-wide weighted speedup: solo-equivalent cycles of completed
     /// work per busy machine cycle, `Σ_j solo_cycles(j) / Σ_s busy_cycles(s)`.
     /// Above 1.0 means SMT coscheduling is paying for itself.
@@ -256,6 +271,7 @@ struct ShardMirror {
     migrated_out: usize,
     completed: u64,
     timeslices: u64,
+    extrapolated: u64,
     now: u64,
     /// Departure records, accumulated for the report.
     records: Vec<JobRecord>,
@@ -271,6 +287,7 @@ impl ShardMirror {
             migrated_out: 0,
             completed: 0,
             timeslices: 0,
+            extrapolated: 0,
             now: 0,
             records: Vec::new(),
         }
@@ -593,11 +610,13 @@ impl ClusterEngine {
                     live,
                     now,
                     timeslices,
+                    extrapolated,
                 } => {
                     let m = &mut self.mirror[s];
                     m.depth = live;
                     m.now = now;
                     m.timeslices = timeslices;
+                    m.extrapolated = extrapolated;
                     m.completed += d.len() as u64;
                     for rec in &d {
                         m.remove_resident(&rec.arrival);
@@ -812,6 +831,7 @@ impl ClusterEngine {
                 live,
                 now,
                 timeslices,
+                extrapolated,
                 ..
             } = self.shards[s].reply.recv().expect("shard worker alive")
             {
@@ -819,6 +839,7 @@ impl ClusterEngine {
                 m.depth = live;
                 m.now = now;
                 m.timeslices = timeslices;
+                m.extrapolated = extrapolated;
             }
         }
         let per_shard: Vec<ShardReport> = self
@@ -833,6 +854,7 @@ impl ClusterEngine {
                 migrated_out: m.migrated_out,
                 completed: m.completed,
                 timeslices: m.timeslices,
+                extrapolated_slices: m.extrapolated,
                 now_cycles: m.now,
                 final_queue_depth: m.depth,
                 records: m.records.clone(),
@@ -850,6 +872,8 @@ impl ClusterEngine {
             completed: self.completed,
             migrations: self.migrations,
             timeslices: per_shard.iter().map(|p| p.timeslices).sum(),
+            extrapolated_slices: per_shard.iter().map(|p| p.extrapolated_slices).sum(),
+            fastsim: self.cfg.shard.fastsim.as_ref().map(|p| p.describe()),
             aggregate_ws: self.aggregate_ws(),
             response: percentiles(&responses),
             slowdown: percentiles(&slowdowns),
@@ -907,6 +931,10 @@ fn shard_worker(
                     live: engine.live_count(),
                     now: engine.now(),
                     timeslices: engine.timeslices(),
+                    extrapolated: engine
+                        .fastsim_counters()
+                        .map(|c| c.extrapolated_slices)
+                        .unwrap_or(0),
                 };
                 if reply.send(r).is_err() {
                     break;
@@ -969,6 +997,7 @@ mod tests {
             drift_threshold: None,
             base_interval: 30_000,
             seed,
+            fastsim: None,
         }
     }
 

@@ -103,6 +103,34 @@ impl JobPool {
             .expect("every thread belongs to a group")
     }
 
+    /// Mutable access to a set of distinct threads, in the order given, as
+    /// the trait objects [`smtsim::Processor::run_timeslice`] consumes.
+    ///
+    /// This is the [`crate::runner::Runner`] hot path (one call per
+    /// timeslice): it builds exactly one intermediate `Vec` and restores the
+    /// caller's order with an in-place sort, where [`Self::select_mut`]
+    /// allocates four (sorted copy, picked, placement slots, output).
+    ///
+    /// # Panics
+    /// Panics if `indices` contains duplicates or out-of-range values.
+    pub fn select_dyn(&mut self, indices: &[usize]) -> Vec<&mut dyn InstructionSource> {
+        for (pos, &i) in indices.iter().enumerate() {
+            assert!(i < self.threads.len(), "thread index out of range");
+            assert!(!indices[..pos].contains(&i), "duplicate thread indices");
+        }
+        let mut picked: Vec<(usize, &mut dyn InstructionSource)> = self
+            .threads
+            .iter_mut()
+            .enumerate()
+            .filter(|(i, _)| indices.contains(i))
+            .map(|(i, b)| (i, b.as_mut() as &mut dyn InstructionSource))
+            .collect();
+        // Tuples are at most the SMT level, so the O(n²) position scan is
+        // cheaper than building a lookup table.
+        picked.sort_by_key(|p| indices.iter().position(|&x| x == p.0).expect("present"));
+        picked.into_iter().map(|(_, r)| r).collect()
+    }
+
     /// Mutable access to a set of distinct threads, in the order given.
     ///
     /// # Panics

@@ -786,6 +786,18 @@ pub struct EngineMetrics {
     pub repeat_picks: Arc<Counter>,
     /// Sample phases entered (`engine.resamples`).
     pub resamples: Arc<Counter>,
+    /// Timeslices synthesized by fast-sim extrapolation instead of detailed
+    /// execution (`engine.extrapolated_slices`); 0 with fast-sim off.
+    pub extrapolated_slices: Arc<Counter>,
+    /// Fast-sim phase locks — detail → extrapolation transitions
+    /// (`engine.fastsim_phase_locks`).
+    pub fastsim_phase_locks: Arc<Counter>,
+    /// Fast-sim drift fallbacks — extrapolation → detail transitions
+    /// (`engine.fastsim_fallbacks`).
+    pub fastsim_fallbacks: Arc<Counter>,
+    /// Fast-sim moderate-drift resyncs — reference window re-centred
+    /// without unlocking the phase (`engine.fastsim_resyncs`).
+    pub fastsim_resyncs: Arc<Counter>,
     /// Jobs currently in the system (`engine.queue_depth`).
     pub queue_depth: Arc<Gauge>,
     /// Jobs coscheduled on the machine in the latest timeslice
@@ -811,6 +823,10 @@ impl EngineMetrics {
             predictor_picks: hub.counter(&format!("{prefix}.predictor_picks")),
             repeat_picks: hub.counter(&format!("{prefix}.repeat_picks")),
             resamples: hub.counter(&format!("{prefix}.resamples")),
+            extrapolated_slices: hub.counter(&format!("{prefix}.extrapolated_slices")),
+            fastsim_phase_locks: hub.counter(&format!("{prefix}.fastsim_phase_locks")),
+            fastsim_fallbacks: hub.counter(&format!("{prefix}.fastsim_fallbacks")),
+            fastsim_resyncs: hub.counter(&format!("{prefix}.fastsim_resyncs")),
             queue_depth: hub.gauge(&format!("{prefix}.queue_depth")),
             running: hub.gauge(&format!("{prefix}.running")),
         }

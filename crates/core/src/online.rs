@@ -26,6 +26,7 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use smtsim::fastsim::{tuple_key, FastSim, FastSimCounters, FastSimEvent, FastSimPolicy};
 use smtsim::trace::{InstructionSource, StreamId};
 use smtsim::{MachineConfig, Processor, TimesliceStats};
 use workloads::phased::{fp_int_alternator, PhasedStream};
@@ -96,6 +97,12 @@ pub struct OnlineConfig {
     pub base_interval: u64,
     /// RNG seed for candidate-schedule draws and per-job stream seeds.
     pub seed: u64,
+    /// Phase-aware fast-forward simulation ([`smtsim::fastsim`]): when set,
+    /// stable coschedule phases are extrapolated instead of simulated in
+    /// detail. `None` (the default, and what old snapshots deserialize to)
+    /// is full detail — byte-identical with builds that predate the field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<FastSimPolicy>,
 }
 
 impl OnlineConfig {
@@ -134,6 +141,12 @@ impl InstructionSource for JobStream {
         match self {
             JobStream::Steady(s) => s.id(),
             JobStream::Phased(s) => s.id(),
+        }
+    }
+    fn skip_instructions(&mut self, n: u64) {
+        match self {
+            JobStream::Steady(s) => s.skip_instructions(n),
+            JobStream::Phased(s) => s.skip_instructions(n),
         }
     }
 }
@@ -229,6 +242,10 @@ pub struct OnlineEngine {
     /// [`reclaim_unstarted`](Self::reclaim_unstarted) (cluster migration).
     reclaimed: usize,
     pending_mix_change: bool,
+    /// Phase detector + extrapolator (`cfg.fastsim`); `None` runs every
+    /// slice through the detailed model, leaving output byte-identical with
+    /// pre-fast-sim builds.
+    fastsim: Option<FastSim>,
     /// Live-metrics handles, attached by a serving layer (`None` costs one
     /// branch per touch point and keeps batch runs byte-identical).
     metrics: Option<EngineMetrics>,
@@ -267,9 +284,28 @@ impl OnlineEngine {
             timeslices: 0,
             reclaimed: 0,
             pending_mix_change: false,
+            fastsim: cfg.fastsim.clone().map(FastSim::new),
             metrics: None,
             job_spans: false,
         }
+    }
+
+    /// Replaces the fast-sim policy at runtime (the serve daemon's `fastsim`
+    /// verb). Any tracked phase state is dropped; `None` returns the engine
+    /// to full detail.
+    pub fn set_fastsim(&mut self, policy: Option<FastSimPolicy>) {
+        self.cfg.fastsim = policy.clone();
+        self.fastsim = policy.map(FastSim::new);
+    }
+
+    /// The active fast-sim policy, if any.
+    pub fn fastsim_policy(&self) -> Option<&FastSimPolicy> {
+        self.fastsim.as_ref().map(|f| f.policy())
+    }
+
+    /// Lifetime extrapolated-vs-detailed counters, when fast-sim is on.
+    pub fn fastsim_counters(&self) -> Option<&FastSimCounters> {
+        self.fastsim.as_ref().map(|f| f.counters())
     }
 
     /// Attaches live-metrics handles (see [`crate::metrics::EngineMetrics`]).
@@ -553,12 +589,89 @@ impl OnlineEngine {
                 telemetry::span_start(&track, "job.timeslice", vec![Attr::text("mode", mode)]);
             }
         }
-        let stats = run_tuple(
-            &mut self.cpu,
-            &mut self.live,
-            &tuple_positions,
-            self.cfg.timeslice,
-        );
+        // Fast-sim: outside the sample phase (whose measurements must be
+        // real hardware counters), a tuple whose phase is locked gets its
+        // slice synthesized from the reference window and its streams
+        // fast-forwarded past the credited work; every detailed slice feeds
+        // the phase detector. With `fastsim: None` this is the one branch
+        // the feature costs and output is byte-identical to full detail.
+        let sampling = matches!(self.state.mode, Mode::Sampling { .. });
+        let mut extrapolated = false;
+        let stats = match self.fastsim.as_mut() {
+            Some(fs) if !sampling && !tuple_positions.is_empty() => {
+                let key = tuple_key(tuple_positions.iter().map(|&p| self.live[p].stream.id().0));
+                if let Some(stats) = fs.try_extrapolate(&key, self.cfg.timeslice) {
+                    extrapolated = true;
+                    for &pos in &tuple_positions {
+                        let job = &mut self.live[pos];
+                        if let Some(ts) = stats.thread(job.stream.id()) {
+                            job.stream.skip_instructions(ts.committed);
+                        }
+                    }
+                    stats
+                } else {
+                    let stats = run_tuple(
+                        &mut self.cpu,
+                        &mut self.live,
+                        &tuple_positions,
+                        self.cfg.timeslice,
+                    );
+                    let event = fs.observe_detailed(&key, &stats);
+                    match event {
+                        Some(FastSimEvent::PhaseLocked { confidence }) => {
+                            if let Some(m) = &self.metrics {
+                                m.fastsim_phase_locks.inc();
+                            }
+                            telemetry::instant(
+                                "fastsim",
+                                "fastsim.phase_lock",
+                                vec![
+                                    Attr::num("confidence", confidence),
+                                    Attr::num("tuple_size", tuple_positions.len() as f64),
+                                ],
+                            );
+                            telemetry::counter_add("fastsim.phase_locks", 1);
+                        }
+                        Some(FastSimEvent::Fallback { deviation }) => {
+                            if let Some(m) = &self.metrics {
+                                m.fastsim_fallbacks.inc();
+                            }
+                            telemetry::instant(
+                                "fastsim",
+                                "fastsim.fallback",
+                                vec![Attr::num("deviation", deviation)],
+                            );
+                            telemetry::counter_add("fastsim.fallbacks", 1);
+                        }
+                        Some(FastSimEvent::Resync {
+                            deviation,
+                            confidence,
+                        }) => {
+                            if let Some(m) = &self.metrics {
+                                m.fastsim_resyncs.inc();
+                            }
+                            telemetry::instant(
+                                "fastsim",
+                                "fastsim.resync",
+                                vec![
+                                    Attr::num("deviation", deviation),
+                                    Attr::num("confidence", confidence),
+                                ],
+                            );
+                            telemetry::counter_add("fastsim.resyncs", 1);
+                        }
+                        Some(FastSimEvent::ResampleOk { .. }) | None => {}
+                    }
+                    stats
+                }
+            }
+            _ => run_tuple(
+                &mut self.cpu,
+                &mut self.live,
+                &tuple_positions,
+                self.cfg.timeslice,
+            ),
+        };
         self.population_cycles += (self.live.len() as u128) * (self.cfg.timeslice as u128);
         self.now += self.cfg.timeslice;
         self.timeslices += 1;
@@ -567,6 +680,12 @@ impl OnlineEngine {
             for &pos in &tuple_positions {
                 telemetry::span_end(&job_track(self.live[pos].key), "job.timeslice");
             }
+        }
+        if extrapolated {
+            if let Some(m) = &self.metrics {
+                m.extrapolated_slices.inc();
+            }
+            telemetry::counter_add("fastsim.extrapolated_slices", 1);
         }
         if let Some(m) = &self.metrics {
             m.timeslices.inc();
@@ -644,6 +763,16 @@ impl OnlineEngine {
 
     /// Re-plans after an arrival, a departure, or a symbiosis-timer expiry.
     fn replan(&mut self, timer: bool) {
+        if let Some(fs) = &mut self.fastsim {
+            // Every replan marks a mix change (or a fresh sampling pass):
+            // the shared cache/predictor state shifts under every tracked
+            // phase, so locked phases must re-prove themselves through a
+            // re-sample window before extrapolating again. (A full
+            // invalidate here costs a relock window per tuple per mix
+            // change, which in a busy open system suppresses extrapolation
+            // almost entirely.)
+            fs.revalidate();
+        }
         let state = &mut self.state;
         let cfg = &self.cfg;
         state.slice = 0;
@@ -929,6 +1058,7 @@ mod tests {
             drift_threshold: None,
             base_interval: 30_000,
             seed: 77,
+            fastsim: None,
         }
     }
 

@@ -71,6 +71,11 @@ pub struct OpenSystemConfig {
     /// RNG seed; the arrival trace is a pure function of the seed, so both
     /// schedulers see identical workloads.
     pub seed: u64,
+    /// Phase-aware fast-forward simulation ([`smtsim::fastsim`]); `None`
+    /// (the default, and what configurations from before the field
+    /// deserialize to) is full detail, byte-identical to pre-fast-sim runs.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fastsim: Option<smtsim::FastSimPolicy>,
 }
 
 impl OpenSystemConfig {
@@ -110,6 +115,7 @@ impl OpenSystemConfig {
             drift_threshold: Some(0.35),
             phased_fraction: 0.0,
             seed: 0xA11CE,
+            fastsim: None,
         }
     }
 
@@ -137,6 +143,7 @@ impl OpenSystemConfig {
             drift_threshold: self.drift_threshold,
             base_interval: self.mean_interarrival,
             seed: self.seed,
+            fastsim: self.fastsim.clone(),
         }
     }
 }
@@ -316,6 +323,7 @@ mod tests {
             drift_threshold: None,
             phased_fraction: 0.0,
             seed: 77,
+            fastsim: None,
         }
     }
 

@@ -11,6 +11,7 @@ use crate::job::JobPool;
 use crate::schedule::{Coschedule, Schedule};
 use crate::ws::{weighted_speedup, SoloRates};
 use serde::{Deserialize, Serialize};
+use smtsim::fastsim::{tuple_key, FastSim, FastSimCounters, FastSimPolicy};
 use smtsim::{MachineConfig, Processor, TimesliceStats};
 
 /// Everything measured while running one full rotation of a schedule.
@@ -109,6 +110,9 @@ pub struct Runner {
     processor: Processor,
     pool: JobPool,
     timeslice: u64,
+    /// Phase-aware fast-forward simulation ([`smtsim::fastsim`]); `None`
+    /// (the default) runs every slice through the detailed model.
+    fastsim: Option<FastSim>,
 }
 
 impl Runner {
@@ -122,7 +126,21 @@ impl Runner {
             processor: Processor::new(cfg),
             pool,
             timeslice,
+            fastsim: None,
         }
+    }
+
+    /// Enables (or, with `None`, disables) phase-aware fast simulation:
+    /// stable coschedule phases are extrapolated instead of executed. Solo
+    /// calibration ([`Self::calibrate_solo`]) always measures in full
+    /// detail regardless of this setting.
+    pub fn set_fastsim(&mut self, policy: Option<FastSimPolicy>) {
+        self.fastsim = policy.map(FastSim::new);
+    }
+
+    /// Lifetime extrapolated-vs-detailed counters, when fast-sim is on.
+    pub fn fastsim_counters(&self) -> Option<&FastSimCounters> {
+        self.fastsim.as_ref().map(|f| f.counters())
     }
 
     /// The job pool.
@@ -140,34 +158,74 @@ impl Runner {
         self.processor.contexts()
     }
 
-    /// Runs one coschedule for `cycles` cycles.
+    /// Runs one coschedule for `cycles` cycles (through the fast-sim
+    /// extrapolator when one is set and the tuple's phase is locked).
     ///
     /// # Panics
     /// Panics if the tuple is larger than the number of hardware contexts.
     pub fn run_tuple(&mut self, tuple: &Coschedule, cycles: u64) -> TimesliceStats {
-        let mut refs = self.pool.select_mut(tuple.threads());
-        let mut dyns: Vec<&mut dyn smtsim::trace::InstructionSource> = refs
-            .iter_mut()
-            .map(|r| r as &mut dyn smtsim::trace::InstructionSource)
-            .collect();
-        self.processor.run_timeslice(&mut dyns, cycles)
+        if self.fastsim.is_some() {
+            return self.run_tuple_fast(tuple, cycles);
+        }
+        self.run_tuple_detailed(tuple, cycles)
+    }
+
+    /// One detailed timeslice of the pipeline model.
+    fn run_tuple_detailed(&mut self, tuple: &Coschedule, cycles: u64) -> TimesliceStats {
+        let mut refs = self.pool.select_dyn(tuple.threads());
+        self.processor.run_timeslice(&mut refs, cycles)
+    }
+
+    /// The fast-sim slice protocol: extrapolate a locked phase (and skip
+    /// the streams past the credited work), otherwise run detailed and feed
+    /// the phase detector.
+    fn run_tuple_fast(&mut self, tuple: &Coschedule, cycles: u64) -> TimesliceStats {
+        let key = tuple_key(tuple.threads().iter().map(|&t| t as u64));
+        let fs = self.fastsim.as_mut().expect("fast path requires fastsim");
+        if let Some(stats) = fs.try_extrapolate(&key, cycles) {
+            for r in self.pool.select_dyn(tuple.threads()) {
+                if let Some(ts) = stats.thread(r.id()) {
+                    r.skip_instructions(ts.committed);
+                }
+            }
+            return stats;
+        }
+        let stats = self.run_tuple_detailed(tuple, cycles);
+        let _ = self
+            .fastsim
+            .as_mut()
+            .expect("fast path requires fastsim")
+            .observe_detailed(&key, &stats);
+        stats
     }
 
     /// Runs one full rotation of `schedule` (each slice one timeslice long).
     pub fn run_rotation(&mut self, schedule: &Schedule) -> RotationStats {
         let tuples = schedule.tuples();
-        let slices = tuples
-            .iter()
-            .map(|t| self.run_tuple(t, self.timeslice))
-            .collect();
-        RotationStats { slices, tuples }
+        self.run_rotation_of(&tuples)
+    }
+
+    /// One rotation over a precomputed tuple list (so multi-rotation runs
+    /// don't rebuild the list every rotation).
+    fn run_rotation_of(&mut self, tuples: &[Coschedule]) -> RotationStats {
+        let mut slices = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            slices.push(self.run_tuple(t, self.timeslice));
+        }
+        RotationStats {
+            slices,
+            tuples: tuples.to_vec(),
+        }
     }
 
     /// Runs `rotations` rotations of `schedule`, returning per-rotation stats.
     pub fn run_schedule(&mut self, schedule: &Schedule, rotations: usize) -> Vec<RotationStats> {
-        (0..rotations)
-            .map(|_| self.run_rotation(schedule))
-            .collect()
+        let tuples = schedule.tuples();
+        let mut out = Vec::with_capacity(rotations);
+        for _ in 0..rotations {
+            out.push(self.run_rotation_of(&tuples));
+        }
+        out
     }
 
     /// Measures each thread's single-threaded (solo) IPC: every job group
@@ -183,10 +241,12 @@ impl Runner {
         for group in groups {
             let tuple = Coschedule::new(group.iter().copied());
             self.processor.flush_memory_state();
+            // Calibration is a measurement, never an extrapolation: it runs
+            // the detailed model even when fast-sim is enabled.
             if warmup > 0 {
-                let _ = self.run_tuple(&tuple, warmup);
+                let _ = self.run_tuple_detailed(&tuple, warmup);
             }
-            let stats = self.run_tuple(&tuple, measure);
+            let stats = self.run_tuple_detailed(&tuple, measure);
             for &t in tuple.threads() {
                 let ipc = stats
                     .thread(smtsim::StreamId(t as u64))
@@ -315,6 +375,50 @@ mod tests {
         assert!(text.contains("pool threads"), "panic message: {text}");
         // In-range accounting still works on the same rotation.
         assert_eq!(rot.try_committed_per_thread(4).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fastsim_runner_extrapolates_and_stays_deterministic() {
+        let run = |fast: bool| {
+            let mut r = runner();
+            if fast {
+                r.set_fastsim(Some(FastSimPolicy::with_threshold(0.25)));
+            }
+            let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+            let rots = r.run_schedule(&s, 40);
+            let cycles: u64 = rots.iter().map(|rot| rot.cycles()).sum();
+            let extrapolated = r
+                .fastsim_counters()
+                .map(|c| c.extrapolated_slices)
+                .unwrap_or(0);
+            (rots, cycles, extrapolated)
+        };
+        let (rots_a, cycles_a, extrap_a) = run(true);
+        let (rots_b, cycles_b, extrap_b) = run(true);
+        let (_, cycles_detail, extrap_detail) = run(false);
+        // Same simulated-cycle coverage either way, and the fast run is
+        // byte-reproducible.
+        assert_eq!(cycles_a, cycles_detail);
+        assert_eq!(cycles_a, cycles_b);
+        assert_eq!(rots_a, rots_b);
+        assert_eq!(extrap_a, extrap_b);
+        assert_eq!(extrap_detail, 0);
+        assert!(
+            extrap_a > 0,
+            "a steady 40-rotation run must lock phases and extrapolate"
+        );
+    }
+
+    #[test]
+    fn fastsim_off_is_byte_identical_with_plain_runner() {
+        // `set_fastsim(None)` after enabling must return to full detail.
+        let mut a = runner();
+        let mut b = runner();
+        b.set_fastsim(Some(FastSimPolicy::default()));
+        b.set_fastsim(None);
+        let s = Schedule::new(vec![0, 1, 2, 3], 2, 2);
+        assert_eq!(a.run_schedule(&s, 3), b.run_schedule(&s, 3));
+        assert!(b.fastsim_counters().is_none());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod cache;
 pub mod config;
 pub mod context;
 pub mod counters;
+pub mod fastsim;
 pub mod fetch;
 pub mod fu;
 pub mod invariants;
@@ -76,6 +77,7 @@ pub mod trace;
 
 pub use config::{BranchConfig, CacheConfig, FetchPolicy, Latencies, MachineConfig};
 pub use counters::ConflictCounters;
+pub use fastsim::{FastSim, FastSimCounters, FastSimEvent, FastSimPolicy};
 pub use invariants::InvariantViolation;
 pub use observe::{NopObserver, Observer, StageOccupancy};
 pub use processor::Processor;

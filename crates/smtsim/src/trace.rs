@@ -268,6 +268,25 @@ pub trait InstructionSource {
 
     /// The address-space tag of this stream.
     fn id(&self) -> StreamId;
+
+    /// Fast-forwards the stream past `n` instructions without executing them
+    /// (the fast-sim extrapolator's clock advance: the synthesized counters
+    /// already account for the work, so the stream must move past it).
+    ///
+    /// The default implementation draws and discards instructions one at a
+    /// time — semantically exact for any source, but O(n). Generators whose
+    /// position is a pure function of their instruction count (the synthetic
+    /// streams) override this with an O(1) reseek. Stops early at
+    /// [`Fetch::Finished`] or [`Fetch::Blocked`]: a blocked stream cannot
+    /// make progress, so crediting it with skipped work would be wrong.
+    fn skip_instructions(&mut self, n: u64) {
+        for _ in 0..n {
+            match self.next_instr() {
+                Fetch::Instr(_) => {}
+                Fetch::Finished | Fetch::Blocked => break,
+            }
+        }
+    }
 }
 
 impl<T: InstructionSource + ?Sized> InstructionSource for &mut T {
@@ -277,6 +296,9 @@ impl<T: InstructionSource + ?Sized> InstructionSource for &mut T {
     fn id(&self) -> StreamId {
         (**self).id()
     }
+    fn skip_instructions(&mut self, n: u64) {
+        (**self).skip_instructions(n)
+    }
 }
 
 impl<T: InstructionSource + ?Sized> InstructionSource for Box<T> {
@@ -285,6 +307,9 @@ impl<T: InstructionSource + ?Sized> InstructionSource for Box<T> {
     }
     fn id(&self) -> StreamId {
         (**self).id()
+    }
+    fn skip_instructions(&mut self, n: u64) {
+        (**self).skip_instructions(n)
     }
 }
 

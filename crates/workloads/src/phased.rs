@@ -88,6 +88,25 @@ impl InstructionSource for PhasedStream {
     fn id(&self) -> StreamId {
         self.phases[0].id()
     }
+
+    /// Fast-forward across phase boundaries: the skip is split into chunks
+    /// that each stay inside one phase, delegating to the per-phase streams'
+    /// O(1) skip, so a multi-million-instruction skip costs O(phases
+    /// crossed).
+    fn skip_instructions(&mut self, mut n: u64) {
+        if let Some(l) = self.limit {
+            n = n.min(l.saturating_sub(self.emitted));
+        }
+        while n > 0 {
+            let idx = (self.emitted / self.phase_len) as usize % self.phases.len();
+            self.active = idx;
+            let within = self.emitted % self.phase_len;
+            let chunk = (self.phase_len - within).min(n);
+            self.phases[idx].skip_instructions(chunk);
+            self.emitted += chunk;
+            n -= chunk;
+        }
+    }
 }
 
 impl std::fmt::Debug for PhasedStream {
@@ -173,6 +192,35 @@ mod tests {
     fn deterministic() {
         let mut a = fp_int_alternator(77, StreamId(2), 9);
         let mut b = fp_int_alternator(77, StreamId(2), 9);
+        assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
+    }
+
+    #[test]
+    fn skip_crosses_phase_boundaries() {
+        let mut s = fp_int_alternator(100, StreamId(0), 5).with_limit(1_000);
+        // Skip one and a half phases: lands 50 into phase 1 (integer).
+        s.skip_instructions(150);
+        assert_eq!(s.emitted(), 150);
+        let instrs = drain(&mut s, 50);
+        assert_eq!(s.active_phase(), 1);
+        assert_eq!(
+            fp_fraction(&instrs),
+            0.0,
+            "must resume inside the int phase"
+        );
+        // Skipping past the limit clamps and finishes.
+        s.skip_instructions(10_000);
+        assert_eq!(s.emitted(), 1_000);
+        assert!(s.is_finished());
+        assert_eq!(s.next_instr(), Fetch::Finished);
+    }
+
+    #[test]
+    fn skip_is_deterministic() {
+        let mut a = fp_int_alternator(77, StreamId(2), 9);
+        let mut b = fp_int_alternator(77, StreamId(2), 9);
+        a.skip_instructions(1_234);
+        b.skip_instructions(1_234);
         assert_eq!(drain(&mut a, 500), drain(&mut b, 500));
     }
 

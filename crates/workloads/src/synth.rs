@@ -340,6 +340,39 @@ impl InstructionSource for SyntheticStream {
     fn id(&self) -> StreamId {
         self.id
     }
+
+    /// O(1) fast-forward: every piece of generator state is re-derived as a
+    /// pure function of the new instruction count, instead of drawing `n`
+    /// instructions. The fast-sim extrapolator skips millions of
+    /// instructions per synthesized timeslice, so this must not be O(n).
+    ///
+    /// The resumed stream is *statistically* identical (same profile, same
+    /// deterministic block ring and placements) but not instruction-identical
+    /// with a stream that emitted its way to the same count — acceptable
+    /// because the caller only ever skips work whose counters were already
+    /// synthesized, and required for determinism: the same (seed, count)
+    /// always resumes in the same state.
+    fn skip_instructions(&mut self, n: u64) {
+        if n == 0 || self.is_finished() {
+            return;
+        }
+        let n = match self.limit {
+            Some(l) => n.min(l - self.count),
+            None => n,
+        };
+        self.count += n;
+        // Re-place control flow at a deterministic block for this position.
+        self.block = hash64(self.count ^ self.code_base ^ 0x5eed) % self.n_blocks;
+        self.block_pos = 0;
+        self.block_len = self.len_of_block(self.block);
+        // Re-seed sampling deterministically from (placement, position);
+        // scatter runs restart on the next reference.
+        self.rng = SmallRng::seed_from_u64(hash64(self.count ^ self.data_base));
+        self.scatter_left = 0;
+        // Phase weights are a pure function of `count`; recompute them here
+        // rather than waiting for the stale `next_refresh`.
+        self.refresh_weights();
+    }
 }
 
 impl std::fmt::Debug for SyntheticStream {
@@ -487,6 +520,73 @@ mod tests {
         assert_eq!(s.emitted(), 100);
         // Stays finished.
         assert_eq!(s.next_instr(), Fetch::Finished);
+    }
+
+    #[test]
+    fn skip_advances_count_and_respects_limit() {
+        let mut s = SyntheticStream::new(profile(), StreamId(1), 3).with_limit(1_000);
+        s.skip_instructions(400);
+        assert_eq!(s.emitted(), 400);
+        assert!(!s.is_finished());
+        // Skipping past the limit clamps and finishes.
+        s.skip_instructions(10_000);
+        assert_eq!(s.emitted(), 1_000);
+        assert!(s.is_finished());
+        assert_eq!(s.next_instr(), Fetch::Finished);
+        // Skipping a finished stream is a no-op.
+        s.skip_instructions(5);
+        assert_eq!(s.emitted(), 1_000);
+    }
+
+    #[test]
+    fn skip_is_deterministic() {
+        // Two streams skipped to the same position must continue identically.
+        let mut a = SyntheticStream::new(profile(), StreamId(1), 3);
+        let mut b = SyntheticStream::new(profile(), StreamId(1), 3);
+        a.skip_instructions(123_456);
+        b.skip_instructions(123_456);
+        let next_a: Vec<Instr> = (0..2_000)
+            .map(|_| a.next_instr().instr().unwrap())
+            .collect();
+        let next_b: Vec<Instr> = (0..2_000)
+            .map(|_| b.next_instr().instr().unwrap())
+            .collect();
+        assert_eq!(next_a, next_b);
+        // And a different skip distance lands in a different state.
+        let mut c = SyntheticStream::new(profile(), StreamId(1), 3);
+        c.skip_instructions(123_457);
+        let next_c: Vec<Instr> = (0..2_000)
+            .map(|_| c.next_instr().instr().unwrap())
+            .collect();
+        assert_ne!(next_a, next_c);
+    }
+
+    #[test]
+    fn skip_preserves_stream_statistics() {
+        // After a long skip the stream still honours its profile: addresses
+        // stay inside the footprint, classes keep roughly the mix.
+        let p = profile();
+        let mut s = SyntheticStream::new(p.clone(), StreamId(1), 5);
+        s.skip_instructions(1_000_000);
+        let instrs: Vec<Instr> = (0..50_000)
+            .map(|_| s.next_instr().instr().unwrap())
+            .collect();
+        let addrs: Vec<u64> = instrs
+            .iter()
+            .filter(|i| i.class.is_mem())
+            .map(|i| i.addr)
+            .collect();
+        let span = addrs.iter().max().unwrap() - addrs.iter().min().unwrap();
+        assert!(span < p.data_bytes, "data span {span:#x}");
+        let branches = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Branch)
+            .count() as f64
+            / instrs.len() as f64;
+        assert!(
+            (0.05..0.2).contains(&branches),
+            "branch fraction {branches}"
+        );
     }
 
     #[test]

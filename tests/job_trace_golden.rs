@@ -27,6 +27,7 @@ fn traced_run() -> String {
         drift_threshold: None,
         base_interval: 20_000,
         seed: 7,
+        fastsim: None,
     };
     let mut engine = OnlineEngine::new(SchedulerKind::Sos, &cfg);
     engine.set_job_spans(true);
