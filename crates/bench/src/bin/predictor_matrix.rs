@@ -6,19 +6,123 @@
 //! This regenerates the per-predictor summary in EXPERIMENTS.md. Pass a
 //! second argument to also dump the full reports as JSON.
 //!
-//! Usage: `cargo run --release -p sos-bench --bin predictor_matrix [cycle_scale] [json_path]`
+//! With `--learned` or `--bandit` the binary instead runs the learned
+//! evaluation sweep (`sos_bench::learn_eval`): a grid of experiments ×
+//! seeds fed sequentially through one online learner, producing a league
+//! table with `Learned` and `Bandit` rows, a deterministic
+//! `learn_summary.json` artifact under `--out-dir` (two runs of the same
+//! grid `cmp` equal), and — with `--bench-out` — a `kind:"learn"` JSON
+//! line for the cross-PR trajectory.
+//!
+//! Usage:
+//! `predictor_matrix [cycle_scale] [json_path]` (the classic table), or
+//! `predictor_matrix [--learned] [--bandit] [--grid small|wide]
+//!  [--scale N] [--seeds S1,S2,...] [--out-dir DIR] [--bench-out FILE]`
 
+use sos_bench::learn_eval::{self, LearnEvalOptions};
 use sos_core::report::{format_league_table, league_table};
 use sos_core::sos::SosScheduler;
 use sos_core::ExperimentSpec;
+use std::path::PathBuf;
+
+struct Args {
+    /// Classic positional args (kept for existing drivers and CI).
+    scale: u64,
+    json_path: Option<String>,
+    /// Learned-sweep mode.
+    learned: bool,
+    grid: String,
+    seeds: Vec<u64>,
+    out_dir: PathBuf,
+    bench_out: Option<PathBuf>,
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let t = s.trim();
+    let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => t.parse(),
+    };
+    parsed.map_err(|_| format!("bad seed {s:?}"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: 1000,
+        json_path: None,
+        learned: false,
+        grid: "wide".to_string(),
+        seeds: learn_eval::DEFAULT_SEEDS.to_vec(),
+        out_dir: PathBuf::from("results/learn"),
+        bench_out: None,
+    };
+    let mut positional = 0usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match arg.as_str() {
+            "--learned" | "--bandit" => args.learned = true,
+            "--grid" => {
+                let v = value("--grid")?;
+                if learn_eval::grid(&v).is_none() {
+                    return Err(format!("unknown grid {v:?} (small|wide)"));
+                }
+                args.grid = v;
+            }
+            "--scale" => {
+                args.scale = value("--scale")?
+                    .parse()
+                    .map_err(|_| "bad value for --scale".to_string())?;
+            }
+            "--seeds" => {
+                args.seeds = value("--seeds")?
+                    .split(',')
+                    .map(parse_seed)
+                    .collect::<Result<_, _>>()?;
+                if args.seeds.is_empty() {
+                    return Err("--seeds needs at least one seed".to_string());
+                }
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")?),
+            "--bench-out" => args.bench_out = Some(PathBuf::from(value("--bench-out")?)),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+            other => {
+                match positional {
+                    0 => {
+                        args.scale = other
+                            .parse()
+                            .map_err(|_| format!("bad cycle_scale {other:?}"))?
+                    }
+                    1 => args.json_path = Some(other.to_string()),
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    Ok(args)
+}
 
 fn main() {
-    let scale = sos_bench::scale_from_args();
-    let json_path = std::env::args().nth(2);
-    let cfg = sos_bench::config(scale);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("predictor_matrix: {e}");
+            std::process::exit(2);
+        }
+    };
     sos_bench::init_cache();
-    eprintln!("# running 13 experiments at 1/{scale} paper scale ...");
 
+    if args.learned {
+        run_learned(&args);
+        return;
+    }
+
+    let cfg = sos_bench::config(args.scale);
+    eprintln!(
+        "# running 13 experiments at 1/{} paper scale ...",
+        args.scale
+    );
     let specs = ExperimentSpec::all_paper_experiments();
     let reports =
         sos_bench::parallel_map(specs, |spec| SosScheduler::evaluate_experiment(&spec, &cfg));
@@ -30,9 +134,93 @@ fn main() {
     );
     print!("{}", format_league_table(&league_table(&reports)));
 
-    if let Some(path) = json_path {
+    if let Some(path) = args.json_path {
         let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
         std::fs::write(&path, json).expect("write JSON");
         eprintln!("# full reports written to {path}");
+    }
+}
+
+fn run_learned(args: &Args) {
+    let opts = LearnEvalOptions {
+        grid: args.grid.clone(),
+        seeds: args.seeds.clone(),
+        scale: args.scale,
+        ..LearnEvalOptions::new(&args.grid, args.scale)
+    };
+    eprintln!(
+        "# learned sweep: grid {} × {} seed(s) at 1/{} paper scale ...",
+        opts.grid,
+        opts.seeds.len(),
+        opts.scale
+    );
+    let (reports, summary) = learn_eval::run(&opts);
+    sos_bench::print_cache_stats();
+
+    println!(
+        "Learned-predictor league table over {} experiments (% vs random expectation)",
+        reports.len()
+    );
+    print!("{}", format_league_table(&league_table(&reports)));
+    println!(
+        "best fixed  {:<10} mean WS {:.4}",
+        summary.best_fixed, summary.best_fixed_ws
+    );
+    println!(
+        "worst fixed {:<10} mean WS {:.4}",
+        summary.worst_fixed, summary.worst_fixed_ws
+    );
+    println!(
+        "Learned mean WS {:.4}  Bandit mean WS {:.4}  oracle {:.4}",
+        summary.learned_ws, summary.bandit_ws, summary.oracle_mean_ws
+    );
+    println!(
+        "learner: {} train updates, err EWMA {:.4}, {} bandit pulls over {} contexts, regret {:.3}",
+        summary.learner.train_updates,
+        summary.learner.err_ewma,
+        summary.learner.bandit_pulls,
+        summary.learner.contexts,
+        summary.learner.bandit_regret
+    );
+    println!(
+        "acceptance (learned/bandit ≥ best fixed AND bandit ≥ worst fixed + 2%): {}",
+        if summary.meets_acceptance() {
+            "PASS"
+        } else {
+            "MISS"
+        }
+    );
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!(
+            "predictor_matrix: cannot create {}: {e}",
+            args.out_dir.display()
+        );
+        std::process::exit(1);
+    }
+    let summary_path = args.out_dir.join("learn_summary.json");
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    if let Err(e) = std::fs::write(&summary_path, json + "\n") {
+        eprintln!(
+            "predictor_matrix: write {} failed: {e}",
+            summary_path.display()
+        );
+        std::process::exit(1);
+    }
+    println!("# sweep summary written to {}", summary_path.display());
+
+    if let Some(path) = &args.bench_out {
+        let unix_secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let record = summary.to_bench_record(unix_secs);
+        match record.append_to(path) {
+            Ok(()) => println!("# learn bench record appended to {}", path.display()),
+            Err(e) => {
+                eprintln!("predictor_matrix: bench-out {} failed: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -11,7 +11,8 @@
 //! time, cluster vs the single fat shard (`--shards 1`).
 //!
 //! Usage: `sos-cluster [--shards N] [--dispatch POLICY] [--policy sos|naive]
-//! [--jobs N] [--mean-interarrival CYCLES] [--mean-length CYCLES]
+//! [--predictor NAME] [--jobs N] [--mean-interarrival CYCLES]
+//! [--mean-length CYCLES]
 //! [--phased-fraction F] [--seed S] [--smt N] [--timeslice CYCLES]
 //! [--slices-per-round N] [--rebalance-every N] [--steal-threshold N]
 //! [--fast] [--fast-threshold F]
@@ -52,6 +53,7 @@ struct Args {
     seed: u64,
     smt: usize,
     timeslice: u64,
+    predictor: PredictorKind,
     sample_schedules: usize,
     base_interval: u64,
     calibration_cycles: u64,
@@ -78,6 +80,7 @@ impl Default for Args {
             seed: 42,
             smt: 4,
             timeslice: 5_000,
+            predictor: PredictorKind::Ipc,
             sample_schedules: 6,
             base_interval: 500_000,
             calibration_cycles: 60_000,
@@ -121,6 +124,15 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = num(&value("--seed")?, "--seed")?,
             "--smt" => args.smt = num(&value("--smt")?, "--smt")?,
             "--timeslice" => args.timeslice = num(&value("--timeslice")?, "--timeslice")?,
+            "--predictor" => {
+                let v = value("--predictor")?;
+                args.predictor = PredictorKind::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown predictor {v:?} (one of {})",
+                        PredictorKind::names()
+                    )
+                })?;
+            }
             "--sample-schedules" => {
                 args.sample_schedules = num(&value("--sample-schedules")?, "--sample-schedules")?
             }
@@ -200,11 +212,12 @@ fn main() {
         smt: args.smt,
         timeslice: args.timeslice,
         sample_schedules: args.sample_schedules,
-        predictor: PredictorKind::Ipc,
+        predictor: args.predictor,
         drift_threshold: Some(0.35),
         base_interval: args.base_interval,
         seed: args.seed,
         fastsim,
+        learn: None,
     };
     let mut cfg = ClusterConfig::new(args.shards, args.dispatch, args.policy, shard);
     cfg.slices_per_round = args.slices_per_round;
@@ -281,6 +294,22 @@ fn main() {
             s.timeslices,
             s.final_queue_depth
         );
+    }
+    if report.per_shard.iter().any(|s| s.learn.is_some()) {
+        println!("shard  train-updates  err-ewma  bandit-pulls  regret  contexts");
+        for s in &report.per_shard {
+            if let Some(l) = &s.learn {
+                println!(
+                    "{:>5}  {:>13}  {:>8.4}  {:>12}  {:>6.3}  {:>8}",
+                    s.shard,
+                    l.train_updates,
+                    l.err_ewma,
+                    l.bandit_pulls,
+                    l.bandit_regret,
+                    l.contexts
+                );
+            }
+        }
     }
 
     if let Some(path) = &args.report_out {

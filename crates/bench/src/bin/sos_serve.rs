@@ -35,8 +35,14 @@
 //!   `fastsim` verb toggles it at runtime, and `status` echoes the active
 //!   policy plus the extrapolated-timeslice count.
 //!
+//! * **Learned prediction** — `--predictor learned|bandit` (any
+//!   `PredictorKind` name is accepted) runs the SOS optimize phase on the
+//!   `sos_core::learn` online model; the learner's state rides in the
+//!   snapshot so restarts keep the trained model, and its counters surface
+//!   under `learn.*` in the `metrics` verb.
+//!
 //! Usage: `sos-serve [--port P] [--policy sos|naive] [--smt N]
-//! [--queue-cap N] [--timeslice C] [--snapshot-dir DIR]
+//! [--queue-cap N] [--timeslice C] [--predictor NAME] [--snapshot-dir DIR]
 //! [--snapshot-every N] [--seed S] [--fast] [--fast-threshold F]
 //! [--metrics FILE] [--trace FILE]
 //! [--slo-response CYCLES] [--slo-slowdown X] [--slo-objective F]
@@ -49,7 +55,7 @@ use smtsim::FastSimPolicy;
 use sos_bench::serve::{
     CompletedJob, MetricsReply, Request, Response, Snapshot, StatsReply, StatusReply,
 };
-use sos_core::metrics::{Counter, EngineMetrics, Gauge, MetricsHub};
+use sos_core::metrics::{Counter, EngineMetrics, Gauge, LearnMetrics, MetricsHub};
 use sos_core::online::{OnlineConfig, OnlineEngine, SchedulerKind};
 use sos_core::opensys::{calibrate_benchmarks, JobArrival, JOB_KINDS};
 use sos_core::report::{percentiles, Percentiles};
@@ -75,6 +81,7 @@ struct Args {
     smt: usize,
     timeslice: u64,
     queue_cap: usize,
+    predictor: PredictorKind,
     sample_schedules: usize,
     base_interval: u64,
     calibration_cycles: u64,
@@ -99,6 +106,7 @@ impl Default for Args {
             smt: 4,
             timeslice: 5_000,
             queue_cap: 64,
+            predictor: PredictorKind::Ipc,
             sample_schedules: 6,
             base_interval: 500_000,
             calibration_cycles: 60_000,
@@ -132,6 +140,15 @@ fn parse_args() -> Result<Args, String> {
             "--smt" => args.smt = num(&value("--smt")?, "--smt")?,
             "--timeslice" => args.timeslice = num(&value("--timeslice")?, "--timeslice")?,
             "--queue-cap" => args.queue_cap = num(&value("--queue-cap")?, "--queue-cap")?,
+            "--predictor" => {
+                let v = value("--predictor")?;
+                args.predictor = PredictorKind::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown predictor {v:?} (one of {})",
+                        PredictorKind::names()
+                    )
+                })?;
+            }
             "--sample-schedules" => {
                 args.sample_schedules = num(&value("--sample-schedules")?, "--sample-schedules")?
             }
@@ -538,6 +555,7 @@ impl Daemon {
             rejected: self.rejected,
             completed: self.completed.clone(),
             inflight: self.engine.live_arrivals(),
+            learner: self.engine.learner().cloned(),
         };
         if let Err(e) = snap.store(&self.snapshot_dir) {
             eprintln!(
@@ -636,17 +654,25 @@ fn main() {
         smt: args.smt,
         timeslice: args.timeslice,
         sample_schedules: args.sample_schedules,
-        predictor: PredictorKind::Ipc,
+        predictor: args.predictor,
         drift_threshold: Some(0.35),
         base_interval: args.base_interval,
         seed: args.seed,
         fastsim,
+        learn: None,
     };
     if let Some(p) = &cfg.fastsim {
         eprintln!("# sos-serve: fastsim on ({})", p.describe());
     }
     let mut engine = OnlineEngine::new(args.policy, &cfg);
     engine.attach_metrics(EngineMetrics::register(&hub));
+    if cfg.effective_learn().is_some() {
+        eprintln!(
+            "# sos-serve: learned prediction on ({})",
+            args.predictor.name()
+        );
+        engine.attach_learn_metrics(LearnMetrics::register(&hub));
+    }
     if args.trace.is_some() {
         engine.set_job_spans(true);
     }
@@ -667,8 +693,18 @@ fn main() {
             for job in snap.inflight {
                 engine.submit(job);
             }
+            // Restore the model only when this run is actually learning —
+            // a fixed-predictor restart ignores a stale learner rather
+            // than silently turning shadow training back on.
+            let learned = match snap.learner {
+                Some(learner) if cfg.effective_learn().is_some() => {
+                    engine.restore_learner(learner);
+                    ", learner restored"
+                }
+                _ => "",
+            };
             eprintln!(
-                "# sos-serve: restored snapshot ({restored} completed, {inflight} in-flight re-queued)"
+                "# sos-serve: restored snapshot ({restored} completed, {inflight} in-flight re-queued{learned})"
             );
         } else {
             eprintln!(

@@ -7,6 +7,7 @@
 use sos_core::sos::ExperimentReport;
 use sos_core::{PredictorKind, SosConfig};
 
+pub mod learn_eval;
 pub mod serve;
 
 /// Parses the common `[cycle_scale]` argument.

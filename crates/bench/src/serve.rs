@@ -258,6 +258,12 @@ pub struct Snapshot {
     pub completed: Vec<CompletedJob>,
     /// Jobs that were in flight; re-queued from scratch on restore.
     pub inflight: Vec<JobArrival>,
+    /// The engine's online learner state (regressor + bandit), present when
+    /// the daemon runs a learned predictor — restored on restart so the
+    /// model keeps its training across daemon generations. Absent/`null`
+    /// in snapshots from daemons without learning.
+    #[serde(default)]
+    pub learner: Option<sos_core::learn::Learner>,
 }
 
 impl Snapshot {
@@ -492,6 +498,62 @@ impl FastSimBenchRecord {
     }
 }
 
+/// Current [`LearnBenchRecord`] schema version.
+pub const LEARN_BENCH_RECORD_VERSION: u32 = 1;
+
+/// One learned-predictor evaluation record, appended as a JSON line to
+/// `BENCH_serve.json` by `predictor-matrix --bench-out`. Distinguished from
+/// the other record kinds by its `kind:"learn"` field. Captures how the
+/// online regressor and the contextual bandit fared against the ten fixed
+/// predictors on the widened grid, so learning quality is comparable
+/// across PRs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LearnBenchRecord {
+    /// Schema version ([`LEARN_BENCH_RECORD_VERSION`]).
+    pub schema: u32,
+    /// Record discriminator, always `"learn"`.
+    pub kind: String,
+    /// Wall-clock record time (seconds since the Unix epoch).
+    pub unix_secs: u64,
+    /// Grid name (`small` / `wide`).
+    pub grid: String,
+    /// Seeds pooled into the evaluation.
+    pub seeds: Vec<u64>,
+    /// Experiments evaluated (scenarios × seeds).
+    pub experiments: u64,
+    /// Mean realized WS of the best fixed predictor, and its name.
+    pub best_fixed: String,
+    pub best_fixed_ws: f64,
+    /// Mean realized WS of the worst fixed predictor, and its name.
+    pub worst_fixed: String,
+    pub worst_fixed_ws: f64,
+    /// Mean realized WS of the online ridge regressor's picks.
+    pub learned_ws: f64,
+    /// Mean realized WS of the contextual bandit's picks.
+    pub bandit_ws: f64,
+    /// Mean realized WS of the per-experiment oracle (best schedule found
+    /// during sampling) — the ceiling every predictor chases.
+    pub oracle_ws: f64,
+    /// Regressor training updates over the run.
+    pub train_updates: u64,
+    /// Prequential error EWMA of the regressor at the end of the run.
+    pub err_ewma: f64,
+    /// Bandit arm pulls over the run.
+    pub bandit_pulls: u64,
+    /// Cumulative bandit regret against the per-decision best arm.
+    pub bandit_regret: f64,
+    /// Distinct jobmix contexts the bandit saw.
+    pub contexts: u64,
+}
+
+impl LearnBenchRecord {
+    /// Appends the record as one JSON line to `path`, creating the file if
+    /// needed.
+    pub fn append_to(&self, path: &Path) -> std::io::Result<()> {
+        append_json_line(self, path)
+    }
+}
+
 /// Appends one serialized value as a JSON line to `path`.
 fn append_json_line<T: Serialize>(value: &T, path: &Path) -> std::io::Result<()> {
     let json = serde_json::to_string(value)
@@ -602,12 +664,51 @@ mod tests {
                 slowdown: 1.5,
             }],
             inflight: Vec::new(),
+            learner: None,
         };
         snap.store(&dir).expect("store");
         let back = Snapshot::load(&dir).expect("load");
         assert_eq!(back.now_cycles, 123_456);
         assert_eq!(back.completed.len(), 1);
         assert_eq!(back.completed[0].response, 100);
+        assert!(back.learner.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_preserves_learner_state_byte_exactly() {
+        use sos_core::learn::{LearnConfig, Learner};
+        let dir = std::env::temp_dir().join(format!("sos-serve-learn-{}", std::process::id()));
+        let learner = Learner::new(LearnConfig::default());
+        let snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            policy: "sos".into(),
+            smt: 2,
+            seed: 7,
+            now_cycles: 1,
+            submitted: 0,
+            rejected: 0,
+            completed: Vec::new(),
+            inflight: Vec::new(),
+            learner: Some(learner.clone()),
+        };
+        snap.store(&dir).expect("store");
+        let back = Snapshot::load(&dir).expect("load");
+        assert_eq!(
+            serde_json::to_string(back.learner.as_ref().unwrap()).unwrap(),
+            serde_json::to_string(&learner).unwrap(),
+            "learner state must survive the snapshot round trip byte-exactly"
+        );
+        // A pre-learning snapshot (no `learner` key at all) still loads.
+        let raw = std::fs::read_to_string(Snapshot::path_in(&dir)).unwrap();
+        let stripped = raw.replace(
+            &format!(",\"learner\":{}", serde_json::to_string(&learner).unwrap()),
+            "",
+        );
+        assert_ne!(raw, stripped, "test must actually strip the learner key");
+        std::fs::write(Snapshot::path_in(&dir), stripped).unwrap();
+        let old = Snapshot::load(&dir).expect("old-format snapshot loads");
+        assert!(old.learner.is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -652,6 +753,7 @@ mod tests {
             rejected: 0,
             completed: Vec::new(),
             inflight: Vec::new(),
+            learner: None,
         };
         snap.store(&dir).expect("store");
         assert!(!dir.join("snapshot.json.tmp").exists());

@@ -39,7 +39,8 @@
 //! [`sos_core::par`]: crate::par
 
 use crate::arrivals::JobArrival;
-use crate::metrics::{EngineMetrics, MetricsHub};
+use crate::learn::LearnSummary;
+use crate::metrics::{EngineMetrics, LearnMetrics, MetricsHub};
 use crate::online::{JobRecord, OnlineConfig, OnlineEngine, SchedulerKind};
 use crate::report::{percentiles, Percentiles};
 use crate::telemetry::{self, Attr};
@@ -174,6 +175,9 @@ enum Reply {
         /// Cumulative timeslices the shard synthesized via fast-sim
         /// extrapolation (0 when fast-sim is off).
         extrapolated: u64,
+        /// The shard's learner state summary (`None` when learning is
+        /// disabled on the shard).
+        learn: Option<LearnSummary>,
     },
     Reclaimed(Vec<JobArrival>),
 }
@@ -209,6 +213,10 @@ pub struct ShardReport {
     /// Every job this shard completed, in departure order — the shard's
     /// trace for byte-reproducibility checks.
     pub records: Vec<JobRecord>,
+    /// The shard's learner summary at report time (`None` when the shard
+    /// runs without online learning).
+    #[serde(default)]
+    pub learn: Option<LearnSummary>,
 }
 
 /// The cluster-wide summary (deterministic: serializing it twice for the
@@ -275,6 +283,9 @@ struct ShardMirror {
     now: u64,
     /// Departure records, accumulated for the report.
     records: Vec<JobRecord>,
+    /// Last learner summary reported by the shard (`None` when learning
+    /// is off).
+    learn: Option<LearnSummary>,
 }
 
 impl ShardMirror {
@@ -290,6 +301,7 @@ impl ShardMirror {
             extrapolated: 0,
             now: 0,
             records: Vec::new(),
+            learn: None,
         }
     }
 
@@ -455,11 +467,26 @@ impl ClusterEngine {
             let scheduler = cfg.scheduler;
             let engine_metrics =
                 hub.map(|h| EngineMetrics::register_prefixed(h, &format!("cluster.shard{s}")));
+            let learn_metrics = match hub {
+                Some(h) if shard_cfg.effective_learn().is_some() => Some(
+                    LearnMetrics::register_prefixed(h, &format!("cluster.shard{s}.learn")),
+                ),
+                _ => None,
+            };
             let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
             let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
             let thread = std::thread::Builder::new()
                 .name(format!("sos-shard-{s}"))
-                .spawn(move || shard_worker(scheduler, shard_cfg, engine_metrics, cmd_rx, reply_tx))
+                .spawn(move || {
+                    shard_worker(
+                        scheduler,
+                        shard_cfg,
+                        engine_metrics,
+                        learn_metrics,
+                        cmd_rx,
+                        reply_tx,
+                    )
+                })
                 .expect("spawn shard worker");
             shards.push(ShardHandle {
                 cmd: cmd_tx,
@@ -611,12 +638,14 @@ impl ClusterEngine {
                     now,
                     timeslices,
                     extrapolated,
+                    learn,
                 } => {
                     let m = &mut self.mirror[s];
                     m.depth = live;
                     m.now = now;
                     m.timeslices = timeslices;
                     m.extrapolated = extrapolated;
+                    m.learn = learn;
                     m.completed += d.len() as u64;
                     for rec in &d {
                         m.remove_resident(&rec.arrival);
@@ -832,6 +861,7 @@ impl ClusterEngine {
                 now,
                 timeslices,
                 extrapolated,
+                learn,
                 ..
             } = self.shards[s].reply.recv().expect("shard worker alive")
             {
@@ -840,6 +870,7 @@ impl ClusterEngine {
                 m.now = now;
                 m.timeslices = timeslices;
                 m.extrapolated = extrapolated;
+                m.learn = learn;
             }
         }
         let per_shard: Vec<ShardReport> = self
@@ -858,6 +889,7 @@ impl ClusterEngine {
                 now_cycles: m.now,
                 final_queue_depth: m.depth,
                 records: m.records.clone(),
+                learn: m.learn.clone(),
             })
             .collect();
         let responses: Vec<f64> = self.samples.iter().map(|(r, _)| *r as f64).collect();
@@ -903,12 +935,16 @@ fn shard_worker(
     kind: SchedulerKind,
     cfg: OnlineConfig,
     metrics: Option<EngineMetrics>,
+    learn_metrics: Option<LearnMetrics>,
     cmd: mpsc::Receiver<Cmd>,
     reply: mpsc::Sender<Reply>,
 ) {
     let mut engine = OnlineEngine::new(kind, &cfg);
     if let Some(m) = metrics {
         engine.attach_metrics(m);
+    }
+    if let Some(m) = learn_metrics {
+        engine.attach_learn_metrics(m);
     }
     while let Ok(c) = cmd.recv() {
         match c {
@@ -935,6 +971,7 @@ fn shard_worker(
                         .fastsim_counters()
                         .map(|c| c.extrapolated_slices)
                         .unwrap_or(0),
+                    learn: engine.learn_summary(),
                 };
                 if reply.send(r).is_err() {
                     break;
@@ -998,6 +1035,7 @@ mod tests {
             base_interval: 30_000,
             seed,
             fastsim: None,
+            learn: None,
         }
     }
 
@@ -1118,6 +1156,61 @@ mod tests {
         let done = c.drain(1_000);
         assert_eq!(done.len(), 1);
         assert!(done[0].departure > 50_000);
+    }
+
+    #[test]
+    fn learned_shards_report_learner_summaries_deterministically() {
+        let run = || {
+            let mut shard = shard_cfg(21);
+            shard.predictor = PredictorKind::Bandit;
+            let cfg = ClusterConfig::new(2, DispatchPolicy::RoundRobin, SchedulerKind::Sos, shard);
+            let mut c = ClusterEngine::new(&cfg);
+            let benches = [
+                Benchmark::Gcc,
+                Benchmark::Fp,
+                Benchmark::Swim,
+                Benchmark::Mg,
+                Benchmark::Go,
+                Benchmark::Is,
+            ];
+            for (i, b) in benches.iter().cycle().take(12).enumerate() {
+                c.submit(job(0, *b, 60_000 + i as u64 * 1_000));
+            }
+            let done = c.drain(1_000_000);
+            assert_eq!(done.len(), 12);
+            c.report()
+        };
+        let report = run();
+        for p in &report.per_shard {
+            let learn = p
+                .learn
+                .as_ref()
+                .expect("learned shard must report a learner summary");
+            assert!(learn.bandit_pulls > 0, "shard {} never pulled", p.shard);
+            assert!(learn.train_updates > 0, "shard {} never trained", p.shard);
+        }
+        // Distinct shard seeds derive distinct learner exploration streams,
+        // yet the cluster run is still byte-reproducible.
+        let again = run();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    #[test]
+    fn unlearned_shards_report_no_learner() {
+        let cfg = ClusterConfig::new(
+            1,
+            DispatchPolicy::RoundRobin,
+            SchedulerKind::Sos,
+            shard_cfg(5),
+        );
+        let mut c = ClusterEngine::new(&cfg);
+        c.submit(job(0, Benchmark::Gcc, 30_000));
+        c.drain(100_000);
+        let report = c.report();
+        assert!(report.per_shard[0].learn.is_none());
     }
 
     #[test]

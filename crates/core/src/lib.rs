@@ -22,6 +22,11 @@
 //!   predictors of §5 (IPC, AllConf, Dcache, FQ, FP, Sum2, Diversity,
 //!   Balance, Composite, Score).
 //! * [`sos`] — the two-phase SOS scheduler itself.
+//! * [`learn`] — online learned symbiosis prediction: an incremental ridge
+//!   regressor over the sample-phase counter condensates
+//!   (`PredictorKind::Learned`) and a contextual bandit over the ten paper
+//!   predictors plus the learned model (`PredictorKind::Bandit`), both
+//!   deterministic and snapshot-serializable.
 //! * [`cache`] — content-addressed memoization of deterministic evaluation
 //!   results (calibrations, per-schedule sample/symbios measurements), with
 //!   an optional on-disk JSONL store.
@@ -71,6 +76,7 @@ pub mod error;
 pub mod experiment;
 pub mod hier;
 pub mod job;
+pub mod learn;
 pub mod metrics;
 pub mod naive;
 pub mod online;

@@ -833,11 +833,113 @@ impl EngineMetrics {
     }
 }
 
+/// The [`crate::learn`] instrumentation bundle: the `learn.*` family
+/// (regressor training/prediction counters, error EWMA, bandit regret, and
+/// one pull counter per arm), prefixable per shard like [`EngineMetrics`].
+#[derive(Clone, Debug)]
+pub struct LearnMetrics {
+    /// Regressor training observations folded in (`learn.train_updates`).
+    pub train_updates: Arc<Counter>,
+    /// Predictions served by the learned model or the bandit
+    /// (`learn.predictions`).
+    pub predictions: Arc<Counter>,
+    /// EWMA of the prequential absolute prediction error
+    /// (`learn.pred_err_ewma`).
+    pub pred_err_ewma: Arc<Gauge>,
+    /// Cumulative bandit regret (`learn.bandit_regret`).
+    pub bandit_regret: Arc<Gauge>,
+    /// Bandit pulls booked (`learn.bandit_pulls`).
+    pub bandit_pulls: Arc<Counter>,
+    /// Per-arm pull counters in [`crate::learn::arms`] order
+    /// (`learn.arm.<name>.pulls`, lowercase arm names).
+    pub arm_pulls: Vec<Arc<Counter>>,
+}
+
+impl LearnMetrics {
+    /// Registers the `learn.*` series in `hub` and resolves the handles.
+    pub fn register(hub: &MetricsHub) -> Self {
+        Self::register_prefixed(hub, "learn")
+    }
+
+    /// Registers the learn series under an arbitrary prefix (e.g.
+    /// `cluster.shard0.learn`).
+    pub fn register_prefixed(hub: &MetricsHub, prefix: &str) -> Self {
+        LearnMetrics {
+            train_updates: hub.counter(&format!("{prefix}.train_updates")),
+            predictions: hub.counter(&format!("{prefix}.predictions")),
+            pred_err_ewma: hub.gauge(&format!("{prefix}.pred_err_ewma")),
+            bandit_regret: hub.gauge(&format!("{prefix}.bandit_regret")),
+            bandit_pulls: hub.counter(&format!("{prefix}.bandit_pulls")),
+            arm_pulls: crate::learn::arms()
+                .iter()
+                .map(|p| {
+                    hub.counter(&format!(
+                        "{prefix}.arm.{}.pulls",
+                        p.name().to_ascii_lowercase()
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// Syncs the absolute-valued series from a learner summary (counters are
+    /// set-by-delta internally, so syncing is idempotent per summary).
+    pub fn sync(&self, summary: &crate::learn::LearnSummary) {
+        set_counter_to(&self.train_updates, summary.train_updates);
+        set_counter_to(&self.predictions, summary.predictions);
+        set_counter_to(&self.bandit_pulls, summary.bandit_pulls);
+        self.pred_err_ewma.set(summary.err_ewma);
+        self.bandit_regret.set(summary.bandit_regret);
+        for (handle, (_, pulls, _)) in self.arm_pulls.iter().zip(&summary.arms) {
+            set_counter_to(handle, *pulls);
+        }
+    }
+}
+
+/// Raises a monotonic counter to an absolute target value (no-op when the
+/// counter is already at or past it), letting summary-driven exporters reuse
+/// counter semantics.
+fn set_counter_to(counter: &Counter, target: u64) {
+    let cur = counter.get();
+    if target > cur {
+        counter.add(target - cur);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::par::parallel_map_with_workers;
     use crate::report::percentiles;
+
+    #[test]
+    fn learn_metrics_sync_from_summary() {
+        let hub = MetricsHub::new();
+        let m = LearnMetrics::register(&hub);
+        assert_eq!(m.arm_pulls.len(), crate::learn::NUM_ARMS);
+        let mut summary = crate::learn::LearnSummary {
+            train_updates: 10,
+            predictions: 4,
+            err_ewma: 0.25,
+            bandit_pulls: 3,
+            bandit_regret: 0.5,
+            contexts: 2,
+            arms: crate::learn::arms()
+                .iter()
+                .map(|p| (p.name().to_string(), 1, 0.9))
+                .collect(),
+        };
+        m.sync(&summary);
+        assert_eq!(hub.counter("learn.train_updates").get(), 10);
+        assert_eq!(hub.counter("learn.arm.score.pulls").get(), 1);
+        assert_eq!(hub.gauge("learn.pred_err_ewma").get(), 0.25);
+        // Idempotent per summary; monotonic under growth.
+        m.sync(&summary);
+        assert_eq!(hub.counter("learn.train_updates").get(), 10);
+        summary.train_updates = 12;
+        m.sync(&summary);
+        assert_eq!(hub.counter("learn.train_updates").get(), 12);
+    }
 
     #[test]
     fn counter_and_gauge_are_atomic_handles() {

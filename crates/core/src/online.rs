@@ -17,7 +17,8 @@
 //! RNG draws for candidate schedules) is byte-identical across runs.
 
 use crate::arrivals::JobArrival;
-use crate::metrics::EngineMetrics;
+use crate::learn::{self, LearnConfig, LearnSummary, Learner};
+use crate::metrics::{EngineMetrics, LearnMetrics};
 use crate::predictor::PredictorKind;
 use crate::sample::ScheduleSample;
 use crate::schedule::Schedule;
@@ -103,6 +104,12 @@ pub struct OnlineConfig {
     /// is full detail — byte-identical with builds that predate the field.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub fastsim: Option<FastSimPolicy>,
+    /// Learned-prediction configuration ([`crate::learn`]). `None` (the
+    /// default, and what old configs deserialize to) disables learning
+    /// unless `predictor` itself is `Learned`/`Bandit`, in which case a
+    /// learner is created with defaults and a seed derived from `seed`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub learn: Option<LearnConfig>,
 }
 
 impl OnlineConfig {
@@ -111,6 +118,21 @@ impl OnlineConfig {
             self.smt > 0 && self.timeslice > 0 && self.base_interval > 0,
             "bad online configuration"
         );
+    }
+
+    /// The effective learner configuration: `learn` when set, or — when the
+    /// predictor itself is a learned kind — defaults with a seed derived
+    /// from the engine seed (so distinct shards learn on distinct
+    /// exploration streams).
+    pub fn effective_learn(&self) -> Option<LearnConfig> {
+        match self.learn {
+            Some(lc) => Some(lc),
+            None if self.predictor.is_learned() => Some(LearnConfig {
+                seed: self.seed ^ 0x1ea51,
+                ..LearnConfig::default()
+            }),
+            None => None,
+        }
     }
 }
 
@@ -219,6 +241,35 @@ impl SchedulerState {
     }
 }
 
+/// An unsettled bandit pull: the symbios phase the pulled arm chose is
+/// still running, and its realized reward is only known once the phase
+/// ends. IPC accumulates per symbios slice; the next replan settles the
+/// pull against the sample-phase baseline.
+struct PendingLearn {
+    /// The pulled arm index (in [`learn::arms`] order).
+    arm: usize,
+    /// Bandit context at pull time.
+    context: String,
+    /// Mean sampled IPC across the candidates (the oblivious baseline).
+    baseline: f64,
+    /// Best sampled IPC among the candidates (the best-arm proxy).
+    best_proxy: f64,
+    /// Sum of symbios-slice total IPCs since the pull.
+    ipc_sum: f64,
+    /// Symbios slices accumulated.
+    slices: u64,
+}
+
+/// The learner plumbing threaded through [`advance_after_slice`]: the
+/// engine's optional learner, its metrics handles, the unsettled bandit
+/// pull, and the bandit context of the current jobmix.
+struct LearnHooks<'a> {
+    learner: Option<&'a mut Learner>,
+    metrics: Option<&'a LearnMetrics>,
+    pending: &'a mut Option<PendingLearn>,
+    context: &'a str,
+}
+
 /// The event-driven online scheduling engine.
 ///
 /// Lifecycle: [`submit`](Self::submit) jobs (at the engine's current time or
@@ -249,6 +300,15 @@ pub struct OnlineEngine {
     /// Live-metrics handles, attached by a serving layer (`None` costs one
     /// branch per touch point and keeps batch runs byte-identical).
     metrics: Option<EngineMetrics>,
+    /// Online learner ([`crate::learn`]): present when `cfg.learn` is set
+    /// or the predictor is `Learned`/`Bandit`. `None` (the default) keeps
+    /// every existing run byte-identical.
+    learner: Option<Learner>,
+    /// `learn.*` metrics handles (independent of `metrics`, like the
+    /// learner itself).
+    learn_metrics: Option<LearnMetrics>,
+    /// The bandit pull awaiting settlement, if any.
+    pending_learn: Option<PendingLearn>,
     /// Whether to emit per-job hierarchical trace spans (admit → queue wait
     /// → schedule decision → timeslices → complete) into the telemetry
     /// event stream. Off by default: job spans are high-volume and only a
@@ -286,6 +346,9 @@ impl OnlineEngine {
             pending_mix_change: false,
             fastsim: cfg.fastsim.clone().map(FastSim::new),
             metrics: None,
+            learner: cfg.effective_learn().map(Learner::new),
+            learn_metrics: None,
+            pending_learn: None,
             job_spans: false,
         }
     }
@@ -314,6 +377,38 @@ impl OnlineEngine {
     pub fn attach_metrics(&mut self, metrics: EngineMetrics) {
         metrics.queue_depth.set(self.live.len() as f64);
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches `learn.*` metrics handles (see
+    /// [`crate::metrics::LearnMetrics`]). A no-op family when the engine has
+    /// no learner.
+    pub fn attach_learn_metrics(&mut self, metrics: LearnMetrics) {
+        if let Some(l) = &self.learner {
+            metrics.sync(&l.summary());
+        }
+        self.learn_metrics = Some(metrics);
+    }
+
+    /// The engine's learner, if learning is enabled (serialize it into a
+    /// snapshot so a restart keeps the model).
+    pub fn learner(&self) -> Option<&Learner> {
+        self.learner.as_ref()
+    }
+
+    /// Restores learner state from a snapshot, replacing any current model.
+    /// Enables learning even when the configuration alone would not (the
+    /// snapshot's presence is the signal that this engine was learning).
+    pub fn restore_learner(&mut self, learner: Learner) {
+        if let Some(m) = &self.learn_metrics {
+            m.sync(&learner.summary());
+        }
+        self.learner = Some(learner);
+        self.pending_learn = None;
+    }
+
+    /// The learner's summary, if learning is enabled.
+    pub fn learn_summary(&self) -> Option<LearnSummary> {
+        self.learner.as_ref().map(Learner::summary)
     }
 
     /// Enables per-job hierarchical trace spans on the telemetry event
@@ -696,12 +791,25 @@ impl OnlineEngine {
                 Mode::Symbios { .. } => m.symbios_slices.inc(),
             }
         }
+        let learn_context = if self.learner.is_some() {
+            let benches: Vec<workloads::Benchmark> =
+                self.live.iter().map(|j| j.arrival.benchmark).collect();
+            learn::context_of(&benches)
+        } else {
+            String::new()
+        };
         advance_after_slice(
             &mut self.state,
             &self.cfg,
             &stats,
             self.now,
             self.metrics.as_ref(),
+            LearnHooks {
+                learner: self.learner.as_mut(),
+                metrics: self.learn_metrics.as_ref(),
+                pending: &mut self.pending_learn,
+                context: &learn_context,
+            },
         );
 
         // Departures.
@@ -761,8 +869,45 @@ impl OnlineEngine {
         departed
     }
 
+    /// Settles the outstanding bandit pull, if any: reward = realized mean
+    /// symbios IPC over the sample-phase mean (the oblivious baseline);
+    /// best = the best sampled IPC over the same baseline (an observable
+    /// proxy for the best arm — the engine has no solo rates, so true WS is
+    /// not measurable online; see DESIGN.md §13).
+    fn settle_learn(&mut self) {
+        let Some(p) = self.pending_learn.take() else {
+            return;
+        };
+        let Some(l) = self.learner.as_mut() else {
+            return;
+        };
+        if p.slices == 0 || p.baseline <= 0.0 {
+            return;
+        }
+        let realized = p.ipc_sum / p.slices as f64;
+        let reward = realized / p.baseline;
+        let best = p.best_proxy / p.baseline;
+        l.reward_arm(p.arm, &p.context, reward, best);
+        if let Some(m) = &self.learn_metrics {
+            m.sync(&l.summary());
+        }
+        telemetry::instant(
+            "opensys",
+            "learn.settle",
+            vec![
+                Attr::text("context", p.context),
+                Attr::text("arm", learn::arms()[p.arm].name()),
+                Attr::num("reward", reward),
+                Attr::num("regret", (best - reward).max(0.0)),
+            ],
+        );
+    }
+
     /// Re-plans after an arrival, a departure, or a symbiosis-timer expiry.
     fn replan(&mut self, timer: bool) {
+        // A replan ends any running symbios phase, so the outstanding
+        // bandit pull (if any) has seen all the slices it will get.
+        self.settle_learn();
         if let Some(fs) = &mut self.fastsim {
             // Every replan marks a mix change (or a fresh sampling pass):
             // the shared cache/predictor state shifts under every tracked
@@ -888,8 +1033,17 @@ fn advance_after_slice(
     stats: &TimesliceStats,
     now: u64,
     metrics: Option<&EngineMetrics>,
+    mut hooks: LearnHooks<'_>,
 ) {
     state.slice += 1;
+    // Accumulate the running symbios phase's realized IPC toward the
+    // outstanding bandit pull (settled at the next replan).
+    if matches!(state.mode, Mode::Symbios { .. }) {
+        if let Some(p) = hooks.pending.as_mut() {
+            p.ipc_sum += stats.total_ipc();
+            p.slices += 1;
+        }
+    }
     // Drift detection (§9 extension): if the running schedule stops behaving
     // like its sample, force an early resample by expiring the timer.
     if let (
@@ -947,6 +1101,42 @@ fn advance_after_slice(
                     .collect();
                 let pick = if samples.is_empty() {
                     0
+                } else if let Some(l) = hooks.learner.as_deref_mut() {
+                    // Prequential: pick with the model as-is, then train on
+                    // this sample phase. Targets are per-candidate sampled
+                    // IPC — the engine has no solo rates, so realized WS is
+                    // not observable online (DESIGN.md §13 documents the
+                    // proxy).
+                    let chosen = match cfg.predictor {
+                        PredictorKind::Learned => l.choose_learned(&samples),
+                        PredictorKind::Bandit => {
+                            let (arm, p) = l.choose_bandit(&samples, hooks.context);
+                            let n = samples.len() as f64;
+                            let baseline = samples.iter().map(|s| s.ipc).sum::<f64>() / n;
+                            let best_proxy = samples
+                                .iter()
+                                .map(|s| s.ipc)
+                                .fold(f64::NEG_INFINITY, f64::max);
+                            *hooks.pending = Some(PendingLearn {
+                                arm,
+                                context: hooks.context.to_string(),
+                                baseline,
+                                best_proxy,
+                                ipc_sum: 0.0,
+                                slices: 0,
+                            });
+                            p
+                        }
+                        // Fixed predictor with a learner attached: shadow
+                        // training only.
+                        _ => cfg.predictor.choose(&samples),
+                    };
+                    let targets: Vec<f64> = samples.iter().map(|s| s.ipc).collect();
+                    l.train(&samples, &targets);
+                    if let Some(m) = hooks.metrics {
+                        m.sync(&l.summary());
+                    }
+                    chosen
                 } else {
                     cfg.predictor.choose(&samples)
                 };
@@ -1059,6 +1249,7 @@ mod tests {
             base_interval: 30_000,
             seed: 77,
             fastsim: None,
+            learn: None,
         }
     }
 
@@ -1180,6 +1371,75 @@ mod tests {
         e.submit(job(e.now(), 500_000));
         e.submit(job(e.now(), 500_000));
         assert_eq!(e.reclaim_unstarted(1).len(), 1);
+    }
+
+    #[test]
+    fn engine_without_learn_config_has_no_learner() {
+        let e = OnlineEngine::new(SchedulerKind::Sos, &cfg());
+        assert!(e.learner().is_none());
+        assert!(e.learn_summary().is_none());
+    }
+
+    fn run_learned(predictor: PredictorKind) -> (u64, String) {
+        let mut c = cfg();
+        c.predictor = predictor;
+        let mut e = OnlineEngine::new(SchedulerKind::Sos, &c);
+        for i in 0..5 {
+            e.submit(job(0, 60_000 + i * 2_000));
+        }
+        for _ in 0..3_000 {
+            e.step();
+            if e.live_count() == 0 {
+                break;
+            }
+        }
+        let l = e.learner().expect("learned predictor implies a learner");
+        (e.completed(), serde_json::to_string(l).unwrap())
+    }
+
+    #[test]
+    fn learned_predictor_trains_online_and_is_deterministic() {
+        let (done_a, learner_a) = run_learned(PredictorKind::Learned);
+        let (done_b, learner_b) = run_learned(PredictorKind::Learned);
+        assert_eq!(done_a, 5);
+        assert_eq!(done_a, done_b);
+        assert_eq!(learner_a, learner_b, "learner state must replay exactly");
+        let l: Learner = serde_json::from_str(&learner_a).unwrap();
+        assert!(l.train_updates() > 0, "sample phases must train the model");
+    }
+
+    #[test]
+    fn bandit_predictor_pulls_arms_and_settles_rewards() {
+        let (done_a, learner_a) = run_learned(PredictorKind::Bandit);
+        let (_, learner_b) = run_learned(PredictorKind::Bandit);
+        assert_eq!(done_a, 5);
+        assert_eq!(learner_a, learner_b);
+        let l: Learner = serde_json::from_str(&learner_a).unwrap();
+        assert!(l.bandit().total_pulls() > 0, "bandit pulls must settle");
+        assert!(l.train_updates() > 0);
+    }
+
+    #[test]
+    fn restored_learner_continues_from_snapshot_state() {
+        let mut c = cfg();
+        c.predictor = PredictorKind::Bandit;
+        let mut e = OnlineEngine::new(SchedulerKind::Sos, &c);
+        for i in 0..5 {
+            e.submit(job(0, 60_000 + i * 2_000));
+        }
+        for _ in 0..3_000 {
+            e.step();
+            if e.live_count() == 0 {
+                break;
+            }
+        }
+        let saved = serde_json::to_string(e.learner().unwrap()).unwrap();
+        let mut fresh = OnlineEngine::new(SchedulerKind::Sos, &c);
+        fresh.restore_learner(serde_json::from_str(&saved).unwrap());
+        assert_eq!(
+            serde_json::to_string(fresh.learner().unwrap()).unwrap(),
+            saved
+        );
     }
 
     #[test]

@@ -144,6 +144,7 @@ impl OpenSystemConfig {
             base_interval: self.mean_interarrival,
             seed: self.seed,
             fastsim: self.fastsim.clone(),
+            learn: None,
         }
     }
 }

@@ -12,7 +12,9 @@ use serde::{Deserialize, Serialize};
 /// Guard against division by zero when normalizing conflict percentages.
 const EPS: f64 = 1e-9;
 
-/// The paper's ten dynamic predictors.
+/// The paper's ten dynamic predictors, plus the two learned predictors of
+/// [`crate::learn`] (stateful; see [`PredictorKind::scores`] for how the
+/// stateless score path handles them).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PredictorKind {
     /// High sampled IPC is good.
@@ -35,6 +37,12 @@ pub enum PredictorKind {
     Composite,
     /// Majority vote of all the other predictors.
     Score,
+    /// The online ridge regressor of [`crate::learn`] (stateful; an
+    /// eleventh predictor trained from each sample phase).
+    Learned,
+    /// The contextual bandit of [`crate::learn`] selecting among the ten
+    /// paper predictors and the learned model per jobmix class.
+    Bandit,
 }
 
 impl PredictorKind {
@@ -50,6 +58,23 @@ impl PredictorKind {
         PredictorKind::Balance,
         PredictorKind::Composite,
         PredictorKind::Score,
+    ];
+
+    /// All twelve predictor kinds: the paper's ten plus the learned model
+    /// and the bandit selector of [`crate::learn`].
+    pub const EXTENDED: [PredictorKind; 12] = [
+        PredictorKind::Ipc,
+        PredictorKind::AllConf,
+        PredictorKind::Dcache,
+        PredictorKind::Fq,
+        PredictorKind::Fp,
+        PredictorKind::Sum2,
+        PredictorKind::Diversity,
+        PredictorKind::Balance,
+        PredictorKind::Composite,
+        PredictorKind::Score,
+        PredictorKind::Learned,
+        PredictorKind::Bandit,
     ];
 
     /// The predictors that vote inside `Score`.
@@ -78,15 +103,35 @@ impl PredictorKind {
             PredictorKind::Balance => "Balance",
             PredictorKind::Composite => "Composite",
             PredictorKind::Score => "Score",
+            PredictorKind::Learned => "Learned",
+            PredictorKind::Bandit => "Bandit",
         }
     }
 
-    /// Parses a predictor name (case-insensitive).
+    /// Parses a predictor name (case-insensitive, covers all of
+    /// [`EXTENDED`](Self::EXTENDED)).
     pub fn parse(s: &str) -> Option<PredictorKind> {
         let lower = s.trim().to_ascii_lowercase();
-        PredictorKind::ALL
+        PredictorKind::EXTENDED
             .into_iter()
             .find(|p| p.name().to_ascii_lowercase() == lower)
+    }
+
+    /// All valid predictor names, for CLI error messages
+    /// (`"IPC, AllConf, …, Learned, Bandit"`).
+    pub fn names() -> String {
+        PredictorKind::EXTENDED
+            .iter()
+            .map(|p| p.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Whether the predictor needs [`crate::learn::Learner`] state to make
+    /// its real decision (the stateless [`scores`](Self::scores) path falls
+    /// back to `Score`'s ranking for these).
+    pub fn is_learned(self) -> bool {
+        matches!(self, PredictorKind::Learned | PredictorKind::Bandit)
     }
 
     /// Scores every sampled schedule; higher = predicted more symbiotic.
@@ -106,6 +151,12 @@ impl PredictorKind {
             PredictorKind::Balance => samples.iter().map(|s| -s.balance).collect(),
             PredictorKind::Composite => composite_scores(samples),
             PredictorKind::Score => vote_scores(samples),
+            // The learned predictors are stateful (they live in
+            // `crate::learn::Learner`); the stateless score path used by
+            // callers that have no learner falls back to the paper's best
+            // fixed predictor, which is also their documented cold-start
+            // behavior.
+            PredictorKind::Learned | PredictorKind::Bandit => vote_scores(samples),
         }
     }
 
@@ -194,12 +245,22 @@ pub fn vote_scores(samples: &[ScheduleSample]) -> Vec<f64> {
         .collect()
 }
 
-/// Index of the maximum (first on ties).
+/// Index of the maximum (first on ties). NaN never wins: NaN entries are
+/// skipped entirely, and an all-NaN (or empty) slice returns 0, so a
+/// poisoned score can never out-compare a finite one (mirrors the PR-2 NaN
+/// guards in report/naive).
 pub fn argmax(xs: &[f64]) -> usize {
     let mut best = 0;
-    for (i, x) in xs.iter().enumerate() {
-        if *x > xs[best] {
+    let mut best_val = f64::NEG_INFINITY;
+    let mut found = false;
+    for (i, &x) in xs.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        if !found || x > best_val {
             best = i;
+            best_val = x;
+            found = true;
         }
     }
     best
@@ -290,11 +351,41 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for p in PredictorKind::ALL {
+        for p in PredictorKind::EXTENDED {
             assert_eq!(PredictorKind::parse(p.name()), Some(p));
+            assert_eq!(PredictorKind::parse(&p.name().to_uppercase()), Some(p));
+            assert_eq!(PredictorKind::parse(&p.name().to_lowercase()), Some(p));
         }
         assert_eq!(PredictorKind::parse("score"), Some(PredictorKind::Score));
+        assert_eq!(
+            PredictorKind::parse("  Bandit "),
+            Some(PredictorKind::Bandit)
+        );
         assert_eq!(PredictorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn names_lists_every_kind() {
+        let names = PredictorKind::names();
+        for p in PredictorKind::EXTENDED {
+            assert!(names.contains(p.name()), "{names} missing {p}");
+        }
+    }
+
+    #[test]
+    fn learned_kinds_fall_back_to_vote_scores() {
+        let s = samples();
+        assert_eq!(
+            PredictorKind::Learned.scores(&s),
+            PredictorKind::Score.scores(&s)
+        );
+        assert_eq!(
+            PredictorKind::Bandit.choose(&s),
+            PredictorKind::Score.choose(&s)
+        );
+        assert!(PredictorKind::Learned.is_learned());
+        assert!(PredictorKind::Bandit.is_learned());
+        assert!(!PredictorKind::Score.is_learned());
     }
 
     #[test]
@@ -319,5 +410,15 @@ mod tests {
     fn argmax_first_on_ties() {
         assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
         assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn argmax_nan_never_wins() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, 2.0]), 2);
+        assert_eq!(argmax(&[1.0, f64::NAN, 0.5]), 0);
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), 0);
+        assert_eq!(argmax(&[]), 0);
+        // -inf is a real value and can still win over NaN.
+        assert_eq!(argmax(&[f64::NAN, f64::NEG_INFINITY]), 1);
     }
 }

@@ -97,12 +97,19 @@ fn row(name: &str, gains: &[f64]) -> LeagueRow {
 
 /// Builds the league table, sorted by mean gain (best first).
 ///
+/// Ranks every predictor kind present in the reports' picks — the paper's
+/// ten always, plus `Learned`/`Bandit` when the reports came from a learned
+/// evaluation — so the table's shape follows the data. Kinds are taken from
+/// the first report; every report must have been evaluated with the same
+/// set.
+///
 /// # Panics
 /// Panics if `reports` is empty.
 pub fn league_table(reports: &[ExperimentReport]) -> Vec<LeagueRow> {
     assert!(!reports.is_empty(), "need at least one experiment report");
+    let kinds: Vec<PredictorKind> = reports[0].picks.iter().map(|&(p, _)| p).collect();
     let mut rows = Vec::new();
-    for p in PredictorKind::ALL {
+    for p in kinds {
         let gains: Vec<f64> = reports
             .iter()
             .map(|r| pct_over(r.ws_with(p), r.average_ws()))
@@ -249,6 +256,19 @@ mod tests {
         let reports = vec![fake_report(vec![1.0, 1.0], 0, 0)];
         let rows = league_table(&reports);
         assert_eq!(rows.len(), PredictorKind::ALL.len() + 2);
+    }
+
+    #[test]
+    fn league_table_includes_learned_rows_when_present() {
+        let mut r = fake_report(vec![2.0, 1.0], 0, 0);
+        r.picks.push((PredictorKind::Learned, 0));
+        r.picks.push((PredictorKind::Bandit, 1));
+        let rows = league_table(&[r]);
+        assert_eq!(rows.len(), PredictorKind::EXTENDED.len() + 2);
+        let learned = rows.iter().find(|x| x.name == "Learned").unwrap();
+        assert!((learned.mean_pct - 33.333).abs() < 0.01);
+        let bandit = rows.iter().find(|x| x.name == "Bandit").unwrap();
+        assert!((bandit.mean_pct + 33.333).abs() < 0.01);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::cache::{self, SymbiosEval};
 use crate::enumerate::sample_distinct;
 use crate::experiment::{ExperimentSpec, SAMPLE_SCHEDULES};
 use crate::job::JobPool;
+use crate::learn::{self, LearnConfig, Learner};
 use crate::predictor::PredictorKind;
 use crate::runner::{RotationStats, Runner};
 use crate::sample::{sample_schedules, ScheduleSample};
@@ -45,6 +46,11 @@ pub struct SosConfig {
     pub calibration_cycles: u64,
     /// RNG seed (schedule sampling and workload construction).
     pub seed: u64,
+    /// Learned-prediction configuration ([`crate::learn`]); `None` (the
+    /// default) disables learning entirely, leaving every existing output
+    /// byte-identical.
+    #[serde(default)]
+    pub learn: Option<LearnConfig>,
 }
 
 impl Default for SosConfig {
@@ -60,6 +66,7 @@ impl Default for SosConfig {
             cycle_scale: 1000,
             calibration_cycles: 60_000,
             seed: 0x0505,
+            learn: None,
         }
     }
 }
@@ -440,6 +447,77 @@ impl SosScheduler {
             solo: solo.as_slice().to_vec(),
         }
     }
+
+    /// The coarse jobmix-class context string of an experiment (the bandit's
+    /// context; see [`learn::context_of`]).
+    pub fn experiment_context(spec: &ExperimentSpec) -> String {
+        let benches: Vec<workloads::Benchmark> =
+            spec.jobmix().iter().map(|j| j.benchmark).collect();
+        learn::context_of(&benches)
+    }
+
+    /// [`Self::evaluate_experiment_with_workers`] plus the learned
+    /// predictors: appends `Learned` and `Bandit` picks to the report and
+    /// advances `learner` prequentially — both picks are made with the model
+    /// state *before* this experiment's outcomes are folded in, so a sweep
+    /// over many experiments measures honest online performance.
+    ///
+    /// Training targets are the candidates' *sample-phase realized WS*
+    /// (`sample_ws`): the quantity the sampling oracle reads directly, which
+    /// a production scheduler also observes given solo rates. The bandit
+    /// gets *full-information* feedback — the symbios phase measures every
+    /// candidate schedule, so each arm's counterfactual pick has a realized
+    /// symbios WS; all eleven are booked, with the pull and regret accounted
+    /// against the chosen arm. Rewards are the league metric itself,
+    /// `(ws − avg) / avg` — the fractional gain over the oblivious-average
+    /// expectation — so an arm's mean reward *is* its league standing.
+    /// Phase difficulty varies far more across experiments than the arms
+    /// differ within one, but full information books every arm on the same
+    /// phases, so that variance is common-mode and cancels when arm means
+    /// are compared.
+    pub fn evaluate_experiment_learned(
+        spec: &ExperimentSpec,
+        cfg: &SosConfig,
+        learner: &mut Learner,
+        workers: usize,
+    ) -> ExperimentReport {
+        let mut report = Self::evaluate_experiment_with_workers(spec, cfg, workers);
+        let context = Self::experiment_context(spec);
+        let learned_pick = learner.choose_learned(&report.samples);
+        let (arm, bandit_pick) = learner.choose_bandit(&report.samples, &context);
+        report.picks.push((PredictorKind::Learned, learned_pick));
+        report.picks.push((PredictorKind::Bandit, bandit_pick));
+        learner.train(&report.samples, &report.sample_ws);
+        let avg = report.average_ws();
+        if avg > 0.0 {
+            let rewards: Vec<f64> = learn::arms()
+                .iter()
+                .map(|&kind| {
+                    let pick = match kind {
+                        PredictorKind::Learned => learned_pick,
+                        fixed => fixed.choose(&report.samples),
+                    };
+                    (report.symbios_ws[pick] - avg) / avg
+                })
+                .collect();
+            learner.reward_all(&context, &rewards, arm);
+        }
+        telemetry::instant(
+            "scheduler",
+            "learn.decision",
+            vec![
+                Attr::text("spec", spec.to_string()),
+                Attr::text("context", context),
+                Attr::text("arm", learn::arms()[arm].name()),
+                Attr::num("learned_pick", learned_pick as f64),
+                Attr::num("bandit_pick", bandit_pick as f64),
+                Attr::num("train_updates", learner.train_updates() as f64),
+                Attr::num("err_ewma", learner.err_ewma()),
+                Attr::num("bandit_regret", learner.bandit().total_regret()),
+            ],
+        );
+        report
+    }
 }
 
 #[cfg(test)]
@@ -495,5 +573,49 @@ mod tests {
         let b = SosScheduler::evaluate_experiment(&spec, &quick_cfg());
         assert_eq!(a.symbios_ws, b.symbios_ws);
         assert_eq!(a.picks, b.picks);
+    }
+
+    #[test]
+    fn learned_evaluation_appends_picks_and_trains() {
+        let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+        let cfg = quick_cfg();
+        let mut learner = Learner::new(LearnConfig::default());
+        let report = SosScheduler::evaluate_experiment_learned(&spec, &cfg, &mut learner, 0);
+        assert_eq!(report.picks.len(), PredictorKind::ALL.len() + 2);
+        let lw = report.ws_with(PredictorKind::Learned);
+        let bw = report.ws_with(PredictorKind::Bandit);
+        assert!(lw >= report.worst_ws() - 1e-12 && lw <= report.best_ws() + 1e-12);
+        assert!(bw >= report.worst_ws() - 1e-12 && bw <= report.best_ws() + 1e-12);
+        // One training update per candidate, one bandit pull.
+        assert_eq!(learner.train_updates(), report.samples.len() as u64);
+        assert_eq!(learner.bandit().total_pulls(), 1);
+        // The base report (first ten picks, WS vectors) is unchanged by the
+        // learned pass.
+        let base = SosScheduler::evaluate_experiment(&spec, &cfg);
+        assert_eq!(report.symbios_ws, base.symbios_ws);
+        assert_eq!(&report.picks[..PredictorKind::ALL.len()], &base.picks[..]);
+    }
+
+    #[test]
+    fn learned_evaluation_is_deterministic() {
+        let spec: ExperimentSpec = "Jsb(4,2,2)".parse().unwrap();
+        let cfg = quick_cfg();
+        let run = |workers| {
+            let mut learner = Learner::new(LearnConfig::default());
+            let mut picks = Vec::new();
+            for _ in 0..3 {
+                let r =
+                    SosScheduler::evaluate_experiment_learned(&spec, &cfg, &mut learner, workers);
+                picks.push(r.picks);
+            }
+            (picks, serde_json::to_string(&learner).unwrap())
+        };
+        let (picks1, learner1) = run(0);
+        let (picks2, learner2) = run(2);
+        assert_eq!(picks1, picks2);
+        assert_eq!(
+            learner1, learner2,
+            "learner state differs across worker counts"
+        );
     }
 }

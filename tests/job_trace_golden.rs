@@ -28,6 +28,7 @@ fn traced_run() -> String {
         base_interval: 20_000,
         seed: 7,
         fastsim: None,
+        learn: None,
     };
     let mut engine = OnlineEngine::new(SchedulerKind::Sos, &cfg);
     engine.set_job_spans(true);
